@@ -1,0 +1,53 @@
+// Ablation — FSA size (the paper: "both range and data-rate can be further
+// increased by designing a larger FSA").
+//
+// Sweeps the element count and reports gain, beamwidth, scan coverage, and
+// the resulting downlink SINR / uplink SNR at 8 m, quantifying the larger-
+// aperture tradeoff: more gain and range, but narrower beams (tighter
+// orientation tolerance) per element added.
+#include "bench_common.hpp"
+
+#include "milback/channel/link_budget.hpp"
+
+using namespace milback;
+
+int main(int argc, char** argv) {
+  const auto seed = bench::parse_seed(argc, argv);
+  bench::banner("Ablation", "FSA element count vs gain / beamwidth / link margin", seed);
+
+  Table t({"elements", "peak gain (dBi)", "beamwidth (deg)", "scan span (deg)",
+           "DL SINR @8m (dB)", "UL SNR @8m 10Mbps (dB)"});
+  CsvWriter csv(CsvWriter::env_dir(), "ablation_fsa_elements",
+                {"n", "gain_dbi", "beamwidth_deg", "span_deg", "dl_sinr", "ul_snr"});
+
+  rf::EnvelopeDetector det{rf::EnvelopeDetectorConfig{}};
+  rf::RfSwitch sw{rf::RfSwitchConfig{}};
+  for (std::size_t n : {6u, 8u, 12u, 16u, 24u, 32u}) {
+    antenna::FsaConfig fsa_cfg;
+    fsa_cfg.n_elements = n;
+    channel::BackscatterChannel chan(
+        channel::ChannelConfig{}, rf::HornAntenna{rf::HornAntennaConfig{}},
+        rf::HornAntenna{rf::HornAntennaConfig{}}, antenna::DualPortFsa{fsa_cfg},
+        channel::Environment::anechoic());
+    const auto& fsa = chan.fsa();
+    const auto [lo, hi] = fsa.scan_range_deg();
+    const channel::NodePose pose{8.0, 0.0, 15.0};
+    const auto pair = fsa.carrier_pair_for_angle(15.0);
+    if (!pair) continue;
+    const auto dl = channel::compute_downlink_budget(chan, pose, antenna::FsaPort::kA,
+                                                     pair->first, pair->second, det, sw,
+                                                     1e9);
+    const auto ul = channel::compute_uplink_budget(chan, pose, antenna::FsaPort::kA,
+                                                   pair->first, sw, 10e6);
+    t.add_row({std::to_string(n), Table::num(fsa.peak_gain_dbi(), 1),
+               Table::num(fsa.beamwidth_deg(28e9), 1), Table::num(hi - lo, 1),
+               Table::num(dl.sinr_db, 1), Table::num(ul.snr_db, 1)});
+    csv.row({double(n), fsa.peak_gain_dbi(), fsa.beamwidth_deg(28e9), hi - lo,
+             dl.sinr_db, ul.snr_db});
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: uplink SNR gains ~6 dB per doubling (two aperture passes),\n"
+               "downlink ~3 dB; the cost is a narrower beam. The paper's 12-element\n"
+               "design balances gain against orientation-sensing robustness.\n";
+  return 0;
+}

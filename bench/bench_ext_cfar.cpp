@@ -1,0 +1,91 @@
+// Extension — CA-CFAR vs the paper's median-threshold detector.
+//
+// The median threshold assumes a flat residual floor after background
+// subtraction; imperfect clutter cancellation leaves a colored floor around
+// strong reflectors. This bench compares detection rate and false alarms of
+// the two detectors across distances and clutter-drift severities.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "milback/ap/localizer.hpp"
+#include "milback/radar/cfar.hpp"
+
+using namespace milback;
+
+namespace {
+
+struct Score {
+  int hits = 0;
+  int false_alarms = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::parse_seed(argc, argv);
+  bench::banner("Extension", "CA-CFAR vs median-threshold detection", seed);
+
+  Rng master(seed);
+  const int kTrials = 15;
+
+  Table t({"clutter drift", "distance (m)", "median: hits/FA", "CFAR: hits/FA"});
+  CsvWriter csv(CsvWriter::env_dir(), "ext_cfar",
+                {"drift", "distance", "med_hits", "med_fa", "cfar_hits", "cfar_fa"});
+
+  for (const double drift : {5e-4, 5e-3}) {
+    channel::ChannelConfig ccfg;
+    ccfg.chirp_amplitude_drift = drift;
+    auto env_rng = master.fork(std::uint64_t(drift * 1e6));
+    const auto chan = channel::BackscatterChannel::make_default(
+        channel::Environment::indoor_office(env_rng), ccfg);
+    const ap::Localizer loc;
+
+    for (const double d : {3.0, 6.0, 8.0}) {
+      Score med, cfar;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        const channel::NodePose pose{d, 0.0, 10.0};
+        auto rng = master.fork(std::uint64_t(trial * 131) + std::uint64_t(d * 17) +
+                               std::uint64_t(drift * 1e7));
+        std::vector<rf::SwitchState> states(loc.config().n_chirps);
+        for (std::size_t i = 0; i < states.size(); ++i) {
+          states[i] = (i % 2 == 0) ? rf::SwitchState::kReflect : rf::SwitchState::kAbsorb;
+        }
+        const auto burst = loc.synthesize_burst(chan, pose, states, 1.0, 0.0, rng);
+        std::vector<radar::RangeSpectrum> spectra;
+        for (const auto& beat : burst.rx0) {
+          spectra.push_back(radar::range_fft(beat, loc.config().beat_sample_rate_hz,
+                                             loc.config().chirp, loc.config().fft));
+        }
+        const auto sub = radar::background_subtract(spectra);
+
+        auto score = [&](const std::vector<radar::RangeDetection>& dets, Score& s) {
+          for (const auto& det : dets) {
+            if (std::abs(det.range_m - d) < 0.3) {
+              ++s.hits;
+              break;
+            }
+          }
+          for (const auto& det : dets) {
+            if (std::abs(det.range_m - d) >= 0.5) ++s.false_alarms;
+          }
+        };
+        score(radar::detect_all(sub, spectra.front(), loc.config().range, 4), med);
+        score(radar::cfar_detect(sub, spectra.front(), radar::CfarConfig{}, 4), cfar);
+      }
+      t.add_row({Table::sci(drift, 0), Table::num(d, 0),
+                 std::to_string(med.hits) + "/" + std::to_string(kTrials) + "  " +
+                     std::to_string(med.false_alarms),
+                 std::to_string(cfar.hits) + "/" + std::to_string(kTrials) + "  " +
+                     std::to_string(cfar.false_alarms)});
+      csv.row({drift, d, double(med.hits), double(med.false_alarms), double(cfar.hits),
+               double(cfar.false_alarms)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: with the paper's stable clutter both detectors find the\n"
+               "node; under 10x worse chirp-to-chirp drift the colored residual\n"
+               "floor inflates the median detector's false alarms while CA-CFAR's\n"
+               "locally-adaptive threshold holds its false-alarm rate.\n";
+  return 0;
+}

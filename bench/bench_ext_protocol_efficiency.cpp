@@ -1,0 +1,70 @@
+// Extension — protocol air-time efficiency.
+//
+// The Section-7 preamble (Field 1 + Field 2) is a fixed ~135-225 us tax on
+// every packet; the payload length is the knob. This bench tabulates
+// efficiency and goodput across payload sizes and rates, the payload needed
+// to hit common efficiency targets, and the localization-overhead cost of
+// tracking a moving node at various speeds.
+#include "bench_common.hpp"
+
+#include "milback/core/throughput.hpp"
+
+using namespace milback;
+
+int main(int argc, char** argv) {
+  const auto seed = bench::parse_seed(argc, argv);
+  bench::banner("Extension", "Protocol air-time efficiency and tracking overhead", seed);
+
+  const core::PacketConfig cfg;
+
+  std::cout << "Packet efficiency vs payload length:\n";
+  Table t({"payload (symbols)", "UL 10M: eff / goodput", "UL 40M: eff / goodput",
+           "DL 36M: eff / goodput"});
+  CsvWriter csv(CsvWriter::env_dir(), "ext_protocol_efficiency",
+                {"symbols", "ul10_eff", "ul40_eff", "dl36_eff"});
+  for (std::size_t symbols : {128u, 512u, 2048u, 8192u, 32768u}) {
+    const auto u10 =
+        core::packet_efficiency(cfg, core::LinkDirection::kUplink, 10e6, symbols);
+    const auto u40 =
+        core::packet_efficiency(cfg, core::LinkDirection::kUplink, 40e6, symbols);
+    const auto d36 =
+        core::packet_efficiency(cfg, core::LinkDirection::kDownlink, 36e6, symbols);
+    auto cell = [](const core::PacketEfficiency& e) {
+      return Table::num(e.efficiency, 2) + " / " + Table::num(e.goodput_bps / 1e6, 1) +
+             " Mbps";
+    };
+    t.add_row({std::to_string(symbols), cell(u10), cell(u40), cell(d36)});
+    csv.row({double(symbols), u10.efficiency, u40.efficiency, d36.efficiency});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPayload needed for target efficiency (uplink):\n";
+  Table p({"target", "@10 Mbps (symbols)", "@40 Mbps (symbols)"});
+  for (double target : {0.5, 0.8, 0.9, 0.95}) {
+    p.add_row({Table::num(target, 2),
+               std::to_string(core::payload_for_efficiency(
+                   cfg, core::LinkDirection::kUplink, 10e6, target)),
+               std::to_string(core::payload_for_efficiency(
+                   cfg, core::LinkDirection::kUplink, 40e6, target))});
+  }
+  p.print(std::cout);
+
+  std::cout << "\nRe-localization overhead for a moving node (25 cm drift budget,\n"
+               "512-symbol payload packets at 10 Mbps):\n";
+  Table m({"node speed (m/s)", "max track interval (ms)", "localization overhead"});
+  for (double v : {0.0, 0.5, 1.0, 2.0, 5.0}) {
+    const double interval = core::max_tracking_interval_s(v, 0.25);
+    m.add_row({Table::num(v, 1),
+               interval > 1e8 ? "inf" : Table::num(interval * 1e3, 0),
+               Table::num(core::localization_overhead(cfg, core::LinkDirection::kUplink,
+                                                      10e6, 512, v, 0.25),
+                          3)});
+  }
+  m.print(std::cout);
+
+  std::cout << "\nReading: the 225 us uplink preamble is amortized past ~2k-symbol\n"
+               "payloads at 10 Mbps (8k at 40 Mbps); tracking even a 2 m/s node\n"
+               "costs under 0.3% of air time because one five-chirp burst buys a\n"
+               "full position fix.\n";
+  return 0;
+}

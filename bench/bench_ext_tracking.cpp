@@ -1,0 +1,81 @@
+// Extension — continuous tracking of a moving node.
+//
+// The paper localizes static nodes; AR/VR (its motivating application) needs
+// a track. This bench moves a node along a walking path, feeds the per-packet
+// localization fixes into the alpha-beta tracker, and compares raw-fix error
+// against smoothed-track error, including coasting through missed
+// detections.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "milback/core/link.hpp"
+#include "milback/core/tracker.hpp"
+
+using namespace milback;
+
+int main(int argc, char** argv) {
+  const auto seed = bench::parse_seed(argc, argv);
+  bench::banner("Extension", "Tracking a walking node: raw fixes vs alpha-beta track",
+                seed);
+
+  Rng master(seed);
+  auto env_rng = master.fork(1);
+  const core::MilBackLink link(bench::make_indoor_channel(env_rng), core::LinkConfig{});
+
+  core::TrackerConfig tcfg;
+  tcfg.dt_s = 0.1;  // 10 localization packets per second
+  core::NodeTracker tracker(tcfg);
+
+  std::vector<double> raw_errs, track_errs;
+  int misses = 0;
+  Table t({"t (s)", "truth (x,y)", "fix err (cm)", "track err (cm)", "speed est (m/s)"});
+  CsvWriter csv(CsvWriter::env_dir(), "ext_tracking",
+                {"t_s", "raw_err_cm", "track_err_cm"});
+
+  for (int k = 0; k < 80; ++k) {
+    const double ts = double(k) * tcfg.dt_s;
+    // Walking path: 0.8 m/s along a gentle arc, 1.5-5 m from the AP.
+    const double x = 1.5 + 0.4 * ts;
+    const double y = 0.8 * std::sin(0.35 * ts);
+    const channel::NodePose pose{std::hypot(x, y), rad2deg(std::atan2(y, x)), 10.0};
+
+    auto rng = master.fork(std::uint64_t(100 + k));
+    const auto fix = link.localize(pose, rng);
+    const auto& st = tracker.update(fix, std::nullopt);
+
+    if (!fix.detected) {
+      ++misses;
+      continue;
+    }
+    const double fx = fix.range_m * std::cos(deg2rad(fix.angle_deg));
+    const double fy = fix.range_m * std::sin(deg2rad(fix.angle_deg));
+    const double raw = std::hypot(fx - x, fy - y);
+    const double smooth = std::hypot(st.x_m - x, st.y_m - y);
+    if (k >= 10) {  // after warm-up
+      raw_errs.push_back(raw);
+      track_errs.push_back(smooth);
+    }
+    if (k % 8 == 0) {
+      t.add_row({Table::num(ts, 1),
+                 Table::num(x, 2) + ", " + Table::num(y, 2), Table::num(raw * 100, 1),
+                 Table::num(smooth * 100, 1), Table::num(st.speed_mps(), 2)});
+    }
+    csv.row({ts, raw * 100, smooth * 100});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nSummary over " << raw_errs.size() << " post-warm-up fixes ("
+            << misses << " misses):\n"
+            << "  raw fix error:   mean " << Table::num(mean(raw_errs) * 100, 1)
+            << " cm, p90 " << Table::num(percentile(raw_errs, 90) * 100, 1) << " cm\n"
+            << "  tracked error:   mean " << Table::num(mean(track_errs) * 100, 1)
+            << " cm, p90 " << Table::num(percentile(track_errs, 90) * 100, 1)
+            << " cm\n"
+            << "  speed estimate:  " << Table::num(tracker.state().speed_mps(), 2)
+            << " m/s (truth ~0.8 m/s along-path)\n";
+  std::cout << "\nReading: alpha-beta smoothing over per-packet fixes reduces both\n"
+               "mean and tail position error on a moving node and adds a usable\n"
+               "velocity estimate — at zero extra node-side energy (all AP-side).\n";
+  return 0;
+}

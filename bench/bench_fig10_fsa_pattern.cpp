@@ -1,0 +1,70 @@
+// Figure 10 — Dual-port FSA beam pattern.
+//
+// The paper evaluates the fabricated FSA in HFSS and plots antenna gain vs
+// beam direction for seven sample frequencies (26.5..29.5 GHz in 0.5 GHz
+// steps) and both ports. This bench regenerates the same family from the
+// array-factor model: per frequency it reports the beam direction and peak
+// gain of each port, plus a coarse gain-vs-angle sweep.
+//
+// Paper reference: beams of > 10 dBi between ~10.9 and ~14.3 dBi; beam
+// direction spans > 60 degrees over the 3 GHz band; port B mirrors port A.
+#include "bench_common.hpp"
+
+#include "milback/antenna/fsa.hpp"
+
+using namespace milback;
+
+int main(int argc, char** argv) {
+  const auto seed = bench::parse_seed(argc, argv);
+  bench::banner("Fig 10", "Dual-port FSA beam pattern (gain vs direction per frequency)",
+                seed);
+
+  antenna::DualPortFsa fsa;
+  std::cout << "FSA: " << fsa.config().n_elements << " elements, d = "
+            << Table::num(fsa.element_spacing_m() * 1e3, 2) << " mm, tau = "
+            << Table::num(fsa.line_delay_s() * 1e12, 1) << " ps/section, peak gain "
+            << Table::num(fsa.peak_gain_dbi(), 1) << " dBi\n\n";
+
+  Table beams({"f (GHz)", "Port A dir (deg)", "Port A gain (dBi)", "Port B dir (deg)",
+               "Port B gain (dBi)", "beamwidth (deg)"});
+  CsvWriter csv(CsvWriter::env_dir(), "fig10_beams",
+                {"f_ghz", "dirA_deg", "gainA_dbi", "dirB_deg", "gainB_dbi"});
+  for (double f = 26.5e9; f <= 29.5e9 + 1.0; f += 0.5e9) {
+    const auto a = fsa.beam_angle_deg(antenna::FsaPort::kA, f);
+    const auto b = fsa.beam_angle_deg(antenna::FsaPort::kB, f);
+    if (!a || !b) continue;
+    const double ga = fsa.gain_dbi(antenna::FsaPort::kA, f, *a);
+    const double gb = fsa.gain_dbi(antenna::FsaPort::kB, f, *b);
+    beams.add_row({Table::num(f / 1e9, 1), Table::num(*a, 1), Table::num(ga, 1),
+                   Table::num(*b, 1), Table::num(gb, 1),
+                   Table::num(fsa.beamwidth_deg(f), 1)});
+    csv.row({f / 1e9, *a, ga, *b, gb});
+  }
+  beams.print(std::cout);
+
+  const auto [lo, hi] = fsa.scan_range_deg();
+  std::cout << "\nScan coverage (port A): " << Table::num(lo, 1) << " .. "
+            << Table::num(hi, 1) << " deg  (span " << Table::num(hi - lo, 1)
+            << " deg over 3 GHz)\n";
+  std::cout << "Paper: beams 10-14 dBi, ~10 deg wide, > 60 deg coverage, port B "
+               "mirror of port A.\n\n";
+
+  // Gain-vs-angle sweep for the seven frequencies (the actual Fig 10 curves).
+  Table sweep({"theta (deg)", "26.5", "27.0", "27.5", "28.0", "28.5", "29.0", "29.5"});
+  CsvWriter csv2(CsvWriter::env_dir(), "fig10_pattern",
+                 {"theta", "g265", "g270", "g275", "g280", "g285", "g290", "g295"});
+  for (double theta = -40.0; theta <= 40.0 + 0.1; theta += 5.0) {
+    std::vector<std::string> row{Table::num(theta, 0)};
+    std::vector<double> csv_row{theta};
+    for (double f = 26.5e9; f <= 29.5e9 + 1.0; f += 0.5e9) {
+      const double g = fsa.gain_dbi(antenna::FsaPort::kA, f, theta);
+      row.push_back(Table::num(g, 1));
+      csv_row.push_back(g);
+    }
+    sweep.add_row(row);
+    csv2.row(csv_row);
+  }
+  std::cout << "Port A gain (dBi) vs angle per frequency (GHz):\n";
+  sweep.print(std::cout);
+  return 0;
+}

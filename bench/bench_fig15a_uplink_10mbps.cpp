@@ -1,0 +1,10 @@
+// Figure 15a — Uplink performance at 10 Mbps (see bench_fig15_uplink.inc.hpp).
+#include "bench_fig15_uplink.inc.hpp"
+
+int main(int argc, char** argv) {
+  const int rc = milback::bench::run_fig15(argc, argv, 10e6, "Fig 15a", 10.0);
+  std::cout << "\nPaper anchors (10 Mbps): SNR falls from ~25 dB (short range,\n"
+               "capped by residual self-interference) to ~12 dB at 8 m; BER\n"
+               "markers 1e-10, 2e-8, 2e-4 along the curve; link usable to 8 m.\n";
+  return rc;
+}

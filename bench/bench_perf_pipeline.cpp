@@ -1,0 +1,123 @@
+// Performance benchmarks (google-benchmark) for the hot AP-side DSP paths:
+// can the localization and communication pipelines run at protocol rate?
+// A Field-2 burst is 5 x 18 us = 90 us of air time; the full localization
+// pipeline must process it in well under a packet period to keep up.
+#include <benchmark/benchmark.h>
+
+#include "milback/ap/localizer.hpp"
+#include "milback/ap/orientation_sensor.hpp"
+#include "milback/ap/uplink_receiver.hpp"
+#include "milback/core/link.hpp"
+#include "milback/dsp/fft.hpp"
+#include "milback/radar/background_subtraction.hpp"
+#include "milback/radar/beat_synthesis.hpp"
+
+using namespace milback;
+
+namespace {
+
+void BM_Fft1024(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<dsp::cplx> x(1024);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  for (auto _ : state) {
+    auto y = dsp::fft(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_Fft1024);
+
+void BM_BeatSynthesisOneChirp(benchmark::State& state) {
+  const auto chirp = radar::field2_chirp();
+  const double fs = 50e6;
+  const std::size_t n = radar::samples_per_chirp(chirp, fs);
+  Rng rng(2);
+  std::vector<radar::PathContribution> paths(std::size_t(state.range(0)));
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    paths[i] = {.delay_s = 10e-9 * double(i + 1), .amplitude = 1e-4};
+  }
+  for (auto _ : state) {
+    auto beat = radar::synthesize_beat(paths, chirp, fs, n, 1e-12, rng);
+    benchmark::DoNotOptimize(beat);
+  }
+}
+BENCHMARK(BM_BeatSynthesisOneChirp)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_BackgroundSubtraction(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::vector<dsp::cplx>> spectra(5, std::vector<dsp::cplx>(1024));
+  for (auto& s : spectra) {
+    for (auto& v : s) v = rng.complex_gaussian(1.0);
+  }
+  for (auto _ : state) {
+    auto sub = radar::background_subtract(spectra);
+    benchmark::DoNotOptimize(sub);
+  }
+}
+BENCHMARK(BM_BackgroundSubtraction);
+
+void BM_FullLocalization(benchmark::State& state) {
+  Rng env_rng(4);
+  const auto chan = channel::BackscatterChannel::make_default(
+      channel::Environment::indoor_office(env_rng));
+  const ap::Localizer loc;
+  Rng rng(5);
+  const channel::NodePose pose{3.0, 0.0, 10.0};
+  for (auto _ : state) {
+    auto r = loc.localize(chan, pose, rng);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FullLocalization)->Unit(benchmark::kMillisecond);
+
+void BM_OrientationAtAp(benchmark::State& state) {
+  Rng env_rng(6);
+  const auto chan = channel::BackscatterChannel::make_default(
+      channel::Environment::indoor_office(env_rng));
+  const ap::ApOrientationSensor sensor;
+  Rng rng(7);
+  const channel::NodePose pose{2.0, 0.0, 12.0};
+  for (auto _ : state) {
+    auto r = sensor.estimate(chan, pose, rng);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OrientationAtAp)->Unit(benchmark::kMillisecond);
+
+void BM_UplinkBurst1kBits(benchmark::State& state) {
+  Rng env_rng(8);
+  const auto chan = channel::BackscatterChannel::make_default(
+      channel::Environment::indoor_office(env_rng));
+  const ap::UplinkReceiver rx;
+  const auto sel = ap::select_carriers(chan.fsa(), 15.0, 200e6);
+  Rng data(9);
+  auto symbols = core::uplink_pilot(rx.config().pilot_symbols);
+  const auto payload = core::symbols_from_bits(data.bits(1000));
+  symbols.insert(symbols.end(), payload.begin(), payload.end());
+  const auto schedule = node::build_uplink_schedule(symbols);
+  Rng rng(10);
+  const channel::NodePose pose{3.0, 0.0, 15.0};
+  for (auto _ : state) {
+    auto r = rx.receive(chan, pose, *sel, schedule, rf::RfSwitchConfig{}, rng);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_UplinkBurst1kBits)->Unit(benchmark::kMillisecond);
+
+void BM_PacketExchange(benchmark::State& state) {
+  Rng env_rng(11);
+  const core::MilBackLink link(channel::BackscatterChannel::make_default(
+                                   channel::Environment::indoor_office(env_rng)),
+                               core::LinkConfig{});
+  Rng rng(12), data(13);
+  const auto bits = data.bits(512);
+  for (auto _ : state) {
+    auto r = link.run_packet({2.0, 0.0, 12.0}, core::LinkDirection::kUplink, bits, rng);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PacketExchange)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

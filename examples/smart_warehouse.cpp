@@ -1,0 +1,84 @@
+// Smart-warehouse scenario — a multi-node MilBack network with SDM.
+//
+// Section 7: "MilBack can potentially support multiple nodes by using
+// spatial division multiplexing". This example deploys battery-free asset
+// tags across a warehouse aisle, discovers them all (localization +
+// orientation), schedules them into SDM slots by bearing separation, then
+// runs uplink inventory rounds and reports per-tag link quality, goodput and
+// the interference penalty concurrent tags pay.
+//
+// Build & run:  ./build/examples/smart_warehouse [seed]
+#include <iostream>
+
+#include "milback/core/network.hpp"
+#include "milback/util/table.hpp"
+
+using namespace milback;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 23;
+  Rng master(seed);
+
+  auto env_rng = master.fork(1);
+  core::MilBackNetwork net(channel::BackscatterChannel::make_default(
+                               channel::Environment::indoor_office(env_rng)),
+                           core::NetworkConfig{});
+
+  // Six pallet tags spread across the aisle.
+  net.add_node("pallet-A1", {2.0, -28.0, 8.0});
+  net.add_node("pallet-A2", {3.5, -24.0, -12.0});
+  net.add_node("pallet-B1", {2.5, -2.0, 15.0});
+  net.add_node("pallet-B2", {4.5, 3.0, -18.0});
+  net.add_node("pallet-C1", {3.0, 25.0, 10.0});
+  net.add_node("pallet-C2", {5.0, 30.0, -8.0});
+
+  // --- Discovery sweep: localize + orientation for every tag.
+  std::cout << "Discovery sweep (" << net.nodes().size() << " tags):\n";
+  auto rng = master.fork(2);
+  const auto found = net.discover(rng);
+  Table d({"tag", "true (m,deg)", "est range (m)", "est bearing (deg)",
+           "est orient (deg)", "det SNR (dB)"});
+  int discovered = 0;
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    const auto& truth = net.nodes()[i].pose;
+    const auto& r = found[i];
+    if (r.localization.detected) ++discovered;
+    d.add_row({r.id,
+               Table::num(truth.distance_m, 1) + ", " + Table::num(truth.azimuth_deg, 0),
+               r.localization.detected ? Table::num(r.localization.range_m, 2) : "-",
+               r.localization.detected ? Table::num(r.localization.angle_deg, 1) : "-",
+               r.orientation.valid ? Table::num(r.orientation.orientation_deg, 1) : "-",
+               r.localization.detected ? Table::num(r.localization.detection_snr_db, 1)
+                                       : "-"});
+  }
+  d.print(std::cout);
+  std::cout << "  discovered " << discovered << "/" << net.nodes().size() << " tags\n\n";
+
+  // --- SDM schedule.
+  const auto slots = net.sdm_slots();
+  std::cout << "SDM schedule (min separation "
+            << Table::num(23.0, 0) << " deg -> " << slots.size() << " slots):\n";
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    std::cout << "  slot " << s << ":";
+    for (const auto i : slots[s]) std::cout << " " << net.nodes()[i].id;
+    std::cout << "\n";
+  }
+
+  // --- Inventory rounds: every tag uplinks its payload.
+  std::cout << "\nInventory round (800 bits/tag uplink):\n";
+  auto round_rng = master.fork(3);
+  const auto round = net.run_uplink_round(800, round_rng);
+  Table u({"tag", "slot", "BER", "budget SNR (dB)", "eff. SNR w/ SDM (dB)",
+           "goodput (Mbps)"});
+  for (const auto& n : round.nodes) {
+    u.add_row({n.id, std::to_string(n.sdm_slot), Table::sci(n.uplink.ber, 1),
+               Table::num(n.uplink.snr_db, 1), Table::num(n.effective_snr_db, 1),
+               Table::num(n.goodput_bps / 1e6, 2)});
+  }
+  u.print(std::cout);
+  std::cout << "  aggregate goodput: " << Table::num(round.aggregate_goodput_bps / 1e6, 2)
+            << " Mbps across " << round.sdm_slots << " slot(s)\n"
+            << "\nEvery tag runs battery-free at 18-32 mW only while addressed;\n"
+               "bearing-separated tags share air time via the AP's beams.\n";
+  return discovered == int(net.nodes().size()) ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// VR/AR headset scenario — the paper's motivating application.
+//
+// "The orientation sensing of a node can be crucial for applications such as
+// VR and AR in determining user's gesture and direction" (Section 5.2), and
+// two-way connectivity is what past uplink-only backscatter could not give a
+// headset. This example simulates a user wearing a MilBack node while
+// turning their head and stepping around the room: every frame the AP
+// re-localizes the headset, tracks its orientation, pushes a downlink burst
+// (pose corrections / haptics) and pulls an uplink burst (controller input),
+// and the energy meter integrates the node's consumption.
+//
+// Build & run:  ./build/examples/vr_headset [seed]
+#include <cmath>
+#include <iostream>
+
+#include "milback/core/energy.hpp"
+#include "milback/core/link.hpp"
+#include "milback/core/tracker.hpp"
+#include "milback/util/table.hpp"
+
+using namespace milback;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+  Rng master(seed);
+
+  auto env_rng = master.fork(1);
+  core::MilBackLink link(channel::BackscatterChannel::make_default(
+                             channel::Environment::indoor_office(env_rng)),
+                         core::LinkConfig{});
+
+  std::cout << "VR headset session: 16 frames of head motion; per frame the AP\n"
+               "localizes, tracks orientation and exchanges data both ways.\n\n";
+
+  Table t({"frame", "true pose (m,deg,deg)", "est range (m)", "track range (m)",
+           "est orient (deg)", "DL err", "UL err", "frame energy (uJ)"});
+
+  core::TrackerConfig tcfg;
+  tcfg.dt_s = 0.25;
+  core::NodeTracker tracker(tcfg);
+
+  double total_energy_j = 0.0;
+  double worst_range_err = 0.0, worst_orient_err = 0.0, worst_track_err = 0.0;
+  int tracking_losses = 0;
+
+  for (int frame = 0; frame < 16; ++frame) {
+    // Head motion: slow walk along an arc while the head yaws +-20 degrees.
+    const double t_s = double(frame) / 4.0;  // 4 "frames"/s of protocol time
+    const channel::NodePose pose{
+        .distance_m = 2.0 + 0.5 * std::sin(0.4 * t_s),
+        .azimuth_deg = 8.0 * std::sin(0.25 * t_s),
+        .orientation_deg = 20.0 * std::sin(0.9 * t_s) + 2.0};
+
+    auto rng = master.fork(std::uint64_t(100 + frame));
+    auto data = master.fork(std::uint64_t(500 + frame));
+    const auto bits = data.bits(512);
+
+    const auto fix = link.localize(pose, rng);
+    const auto orient = link.sense_orientation_at_ap(pose, rng);
+    const auto& track = tracker.update(
+        fix, orient.valid ? std::optional<double>(orient.orientation_deg)
+                          : std::nullopt);
+    const auto dl = link.run_downlink(pose, bits, rng);
+    const auto ul = link.run_uplink(pose, bits, rng);
+
+    if (!fix.detected || !orient.valid || !dl.carriers_ok || !ul.carriers_ok) {
+      ++tracking_losses;
+      continue;
+    }
+    const double range_err = std::abs(fix.range_m - pose.distance_m);
+    const double orient_err = std::abs(orient.orientation_deg - pose.orientation_deg);
+    worst_range_err = std::max(worst_range_err, range_err);
+    worst_orient_err = std::max(worst_orient_err, orient_err);
+    worst_track_err = std::max(worst_track_err,
+                               std::abs(track.range_m() - pose.distance_m));
+
+    // Energy: one downlink + one uplink packet per frame.
+    const auto t_dl = core::compute_timing(link.config().packet,
+                                           core::LinkDirection::kDownlink, 18e6);
+    const auto t_ul = core::compute_timing(link.config().packet,
+                                           core::LinkDirection::kUplink, 5e6);
+    const auto& pw = link.node().config().power;
+    const double frame_energy =
+        core::packet_node_energy_j(t_dl, core::LinkDirection::kDownlink, pw, 0.0) +
+        core::packet_node_energy_j(t_ul, core::LinkDirection::kUplink, pw, 5e6);
+    total_energy_j += frame_energy;
+
+    t.add_row({std::to_string(frame),
+               Table::num(pose.distance_m, 2) + ", " + Table::num(pose.azimuth_deg, 1) +
+                   ", " + Table::num(pose.orientation_deg, 1),
+               Table::num(fix.range_m, 3), Table::num(track.range_m(), 3),
+               Table::num(orient.orientation_deg, 1),
+               std::to_string(dl.bit_errors), std::to_string(ul.bit_errors),
+               Table::num(frame_energy * 1e6, 2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nSession summary:\n"
+            << "  tracking losses:      " << tracking_losses << " / 16 frames\n"
+            << "  worst range error:    " << Table::num(worst_range_err * 100, 1)
+            << " cm\n"
+            << "  worst tracked range:  " << Table::num(worst_track_err * 100, 1)
+            << " cm (alpha-beta smoothed)\n"
+            << "  worst orientation:    " << Table::num(worst_orient_err, 2) << " deg\n"
+            << "  node energy total:    " << Table::num(total_energy_j * 1e6, 1)
+            << " uJ (" << Table::num(total_energy_j * 1e6 / 16.0, 2)
+            << " uJ/frame)\n"
+            << "\nAn active 28 GHz radio would burn watts to do this; the MilBack\n"
+               "node stays at 18-32 mW only while a packet is in flight.\n";
+  return tracking_losses > 2 ? 1 : 0;
+}

@@ -1,0 +1,123 @@
+#include "milback/ap/downlink_transmitter.hpp"
+
+#include <cmath>
+
+#include "milback/util/units.hpp"
+
+namespace milback::ap {
+
+namespace {
+
+using antenna::FsaPort;
+
+// Incident power [W] of a tone at `f` on `port`, through the node's own
+// port pattern (signal when the tone targets this port, leakage otherwise).
+double port_power_w(const channel::BackscatterChannel& channel,
+                    const channel::NodePose& pose, FsaPort port, double f_hz) {
+  return dbm2watt(channel.incident_port_power_dbm(port, f_hz, pose));
+}
+
+}  // namespace
+
+std::optional<CarrierSelection> select_carriers(const antenna::DualPortFsa& fsa,
+                                                double orientation_deg,
+                                                double min_tone_separation_hz) {
+  const auto pair = fsa.carrier_pair_for_angle(orientation_deg);
+  if (!pair) return std::nullopt;
+  CarrierSelection sel;
+  sel.f_a_hz = pair->first;
+  sel.f_b_hz = pair->second;
+  if (std::abs(sel.f_a_hz - sel.f_b_hz) < min_tone_separation_hz) {
+    // Normal incidence: both beams demand (nearly) the same carrier.
+    const double shared = 0.5 * (sel.f_a_hz + sel.f_b_hz);
+    sel.f_a_hz = sel.f_b_hz = shared;
+    sel.mode = core::ModulationMode::kOok;
+  }
+  return sel;
+}
+
+DownlinkTransmitter::DownlinkTransmitter(const DownlinkTxConfig& config)
+    : config_(config) {}
+
+DownlinkWaveforms DownlinkTransmitter::synthesize(
+    const channel::BackscatterChannel& channel, const channel::NodePose& pose,
+    const CarrierSelection& selection,
+    const std::vector<core::OaqfmSymbol>& symbols) const {
+  DownlinkWaveforms w;
+  w.fs = config_.symbol_rate_hz * double(config_.oversample);
+  const std::size_t n = symbols.size() * config_.oversample;
+  w.power_a_w.assign(n, 0.0);
+  w.power_b_w.assign(n, 0.0);
+
+  // Port-power matrix: each port receives both tones (one as signal, one as
+  // sidelobe leakage); powers add because the detector's video filter
+  // averages out the inter-tone beat.
+  const double a_from_a = port_power_w(channel, pose, FsaPort::kA, selection.f_a_hz);
+  const double a_from_b = port_power_w(channel, pose, FsaPort::kA, selection.f_b_hz);
+  const double b_from_a = port_power_w(channel, pose, FsaPort::kB, selection.f_a_hz);
+  const double b_from_b = port_power_w(channel, pose, FsaPort::kB, selection.f_b_hz);
+
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    const auto tones = core::downlink_tones(symbols[s]);
+    const double pa = (tones.tone_a ? a_from_a : 0.0) + (tones.tone_b ? a_from_b : 0.0);
+    const double pb = (tones.tone_a ? b_from_a : 0.0) + (tones.tone_b ? b_from_b : 0.0);
+    for (std::size_t i = 0; i < config_.oversample; ++i) {
+      w.power_a_w[s * config_.oversample + i] = pa;
+      w.power_b_w[s * config_.oversample + i] = pb;
+    }
+  }
+  return w;
+}
+
+DownlinkWaveforms DownlinkTransmitter::synthesize_ook(
+    const channel::BackscatterChannel& channel, const channel::NodePose& pose,
+    const CarrierSelection& selection, const std::vector<bool>& bits) const {
+  DownlinkWaveforms w;
+  w.fs = config_.symbol_rate_hz * double(config_.oversample);
+  const std::size_t n = bits.size() * config_.oversample;
+  w.power_a_w.assign(n, 0.0);
+  w.power_b_w.assign(n, 0.0);
+
+  const double pa = port_power_w(channel, pose, FsaPort::kA, selection.f_a_hz);
+  const double pb = port_power_w(channel, pose, FsaPort::kB, selection.f_b_hz);
+
+  for (std::size_t s = 0; s < bits.size(); ++s) {
+    if (!bits[s]) continue;
+    for (std::size_t i = 0; i < config_.oversample; ++i) {
+      w.power_a_w[s * config_.oversample + i] = pa;
+      w.power_b_w[s * config_.oversample + i] = pb;
+    }
+  }
+  return w;
+}
+
+DownlinkWaveforms DownlinkTransmitter::synthesize_dense(
+    const channel::BackscatterChannel& channel, const channel::NodePose& pose,
+    const CarrierSelection& selection, const std::vector<core::DenseSymbol>& symbols,
+    unsigned levels) const {
+  DownlinkWaveforms w;
+  w.fs = config_.symbol_rate_hz * double(config_.oversample);
+  const std::size_t n = symbols.size() * config_.oversample;
+  w.power_a_w.assign(n, 0.0);
+  w.power_b_w.assign(n, 0.0);
+
+  const double a_from_a = port_power_w(channel, pose, FsaPort::kA, selection.f_a_hz);
+  const double a_from_b = port_power_w(channel, pose, FsaPort::kA, selection.f_b_hz);
+  const double b_from_a = port_power_w(channel, pose, FsaPort::kB, selection.f_a_hz);
+  const double b_from_b = port_power_w(channel, pose, FsaPort::kB, selection.f_b_hz);
+
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    // Power levels are uniform in the detector's (power-linear) domain.
+    const double fa = core::level_power_fraction(symbols[s].level_a, levels);
+    const double fb = core::level_power_fraction(symbols[s].level_b, levels);
+    const double pa = fa * a_from_a + fb * a_from_b;
+    const double pb = fa * b_from_a + fb * b_from_b;
+    for (std::size_t i = 0; i < config_.oversample; ++i) {
+      w.power_a_w[s * config_.oversample + i] = pa;
+      w.power_b_w[s * config_.oversample + i] = pb;
+    }
+  }
+  return w;
+}
+
+}  // namespace milback::ap

@@ -1,0 +1,81 @@
+// AP-side OAQFM downlink transmitter (Section 6.1/6.2 of the paper).
+//
+// The AP picks the two carrier frequencies from the node's sensed
+// orientation (each aligns one FSA port's beam at the AP), then keys the
+// tones on/off per 2-bit symbol. Near normal incidence the two carriers
+// collide and the transmitter falls back to single-tone OOK.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "milback/channel/backscatter_channel.hpp"
+#include "milback/core/oaqfm.hpp"
+#include "milback/core/oaqfm_dense.hpp"
+
+namespace milback::ap {
+
+/// The carrier pair chosen for a node orientation.
+struct CarrierSelection {
+  double f_a_hz = 0.0;  ///< Port-A-aligned carrier.
+  double f_b_hz = 0.0;  ///< Port-B-aligned carrier.
+  core::ModulationMode mode = core::ModulationMode::kOaqfm;
+};
+
+/// Downlink transmitter knobs.
+struct DownlinkTxConfig {
+  double symbol_rate_hz = 18e6;   ///< 36 Mbps at 2 bits/symbol.
+  std::size_t oversample = 16;    ///< Simulation samples per symbol.
+  double min_tone_separation_hz = 200e6;  ///< Below this, fall back to OOK.
+};
+
+/// Per-port incident power waveforms at the node (before the node's switch
+/// and detector — the node model applies those).
+struct DownlinkWaveforms {
+  std::vector<double> power_a_w;  ///< RF power arriving at port A vs time.
+  std::vector<double> power_b_w;  ///< RF power arriving at port B vs time.
+  double fs = 0.0;                ///< Waveform sample rate.
+};
+
+/// Chooses the OAQFM carriers for an orientation estimate. std::nullopt when
+/// the orientation is outside the FSA scan range (no usable carrier).
+std::optional<CarrierSelection> select_carriers(const antenna::DualPortFsa& fsa,
+                                                double orientation_deg,
+                                                double min_tone_separation_hz);
+
+/// The AP's downlink modulator.
+class DownlinkTransmitter {
+ public:
+  /// Builds the transmitter.
+  explicit DownlinkTransmitter(const DownlinkTxConfig& config = {});
+
+  /// Synthesizes the per-port power waveforms seen by the node at `pose`
+  /// when transmitting `symbols` with `selection`. Includes the wanted tone
+  /// and the cross-port leakage of the other tone at each port.
+  DownlinkWaveforms synthesize(const channel::BackscatterChannel& channel,
+                               const channel::NodePose& pose,
+                               const CarrierSelection& selection,
+                               const std::vector<core::OaqfmSymbol>& symbols) const;
+
+  /// OOK variant: one shared carrier keyed by bits; both ports receive it.
+  DownlinkWaveforms synthesize_ook(const channel::BackscatterChannel& channel,
+                                   const channel::NodePose& pose,
+                                   const CarrierSelection& selection,
+                                   const std::vector<bool>& bits) const;
+
+  /// Dense-OAQFM variant (paper Section 9.4 extension): each tone carries
+  /// one of L power levels per symbol instead of on/off.
+  DownlinkWaveforms synthesize_dense(const channel::BackscatterChannel& channel,
+                                     const channel::NodePose& pose,
+                                     const CarrierSelection& selection,
+                                     const std::vector<core::DenseSymbol>& symbols,
+                                     unsigned levels) const;
+
+  /// Config echo.
+  const DownlinkTxConfig& config() const noexcept { return config_; }
+
+ private:
+  DownlinkTxConfig config_;
+};
+
+}  // namespace milback::ap

@@ -1,0 +1,197 @@
+#include "milback/ap/localizer.hpp"
+
+#include <cmath>
+
+#include "milback/channel/propagation.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::ap {
+
+namespace {
+
+using antenna::FsaPort;
+using channel::BackscatterChannel;
+using channel::NodePose;
+
+// FSA reflection envelope across the chirp: the node only reflects while the
+// sweep crosses its aligned beam. Returns per-sample amplitude scale in
+// [0, 1] relative to the aligned-frequency peak.
+std::vector<double> fsa_sweep_envelope(const BackscatterChannel& channel,
+                                       const NodePose& pose,
+                                       const radar::ChirpConfig& chirp, double fs,
+                                       std::size_t n) {
+  std::vector<double> env(n, 0.0);
+  const auto& fsa = channel.fsa();
+  // Round-trip through the FSA: amplitude scales with the (power) gain at
+  // the instantaneous frequency, normalized by the best in-band gain.
+  const auto f_peak = fsa.beam_frequency_hz(FsaPort::kA, pose.orientation_deg);
+  const double g_peak = f_peak ? fsa.gain_linear(FsaPort::kA, *f_peak, pose.orientation_deg)
+                               : fsa.gain_linear(FsaPort::kA, chirp.center_frequency_hz(),
+                                                 pose.orientation_deg);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = chirp.frequency_at(double(i) / fs);
+    const double g = fsa.gain_linear(FsaPort::kA, f, pose.orientation_deg);
+    env[i] = std::min(g / std::max(g_peak, 1e-12), 1.0);  // two-way handled in power
+  }
+  return env;
+}
+
+}  // namespace
+
+Localizer::Localizer(const LocalizerConfig& config) : config_(config) {}
+
+Localizer::BurstPair Localizer::synthesize_burst(
+    const BackscatterChannel& channel, const NodePose& pose,
+    const std::vector<rf::SwitchState>& port_a_states, double true_slope_scale,
+    double steered_azimuth_deg, milback::Rng& rng) const {
+  const double fs = config_.beat_sample_rate_hz;
+  // The synthesis chirp carries the (slightly wrong) true slope; the
+  // estimator later assumes the nominal slope -> distance-proportional bias.
+  radar::ChirpConfig true_chirp = config_.chirp;
+  true_chirp.bandwidth_hz *= true_slope_scale;
+  const std::size_t n = radar::samples_per_chirp(true_chirp, fs);
+
+  rf::RfSwitch node_switch(config_.node_switch);
+  const auto aligned =
+      channel.fsa().beam_frequency_hz(FsaPort::kA, pose.orientation_deg);
+  const double f_node = aligned.value_or(config_.chirp.center_frequency_hz());
+
+  // Per-trial fixed randomness.
+  const double aoa_true_offset = pose.azimuth_deg - steered_azimuth_deg;
+  const double aoa_phase =
+      radar::offset_to_phase_rad(aoa_true_offset, config_.aoa) +
+      rng.gaussian(0.0, config_.aoa.calibration_sigma_rad);
+  const double mirror_phase = rng.phase();
+
+  // Mirror reflection strength (specular collision region, Fig 13b).
+  const double inc = (pose.orientation_deg - config_.mirror.incidence_peak_deg) /
+                     config_.mirror.incidence_width_deg;
+  const double mirror_gate = std::exp(-inc * inc);
+  const double p_mirror_dbm = channel::radar_return_dbm(
+      channel.config().tx_power_dbm, channel.ap_tx_antenna().config().boresight_gain_dbi,
+      channel.ap_rx_antenna().config().boresight_gain_dbi,
+      config_.mirror.rcs_m2 * mirror_gate, pose.distance_m,
+      config_.chirp.center_frequency_hz());
+  const double a_mirror =
+      std::sqrt(dbm2watt(p_mirror_dbm - channel.config().implementation_loss_two_way_db));
+
+  const auto clutter = channel.clutter_returns(config_.chirp.center_frequency_hz(), pose);
+  const auto env = fsa_sweep_envelope(channel, pose, true_chirp, fs, n);
+  const double noise_w = channel.ap_noise_floor_w(fs);
+
+  BurstPair burst;
+  burst.rx0.reserve(port_a_states.size());
+  burst.rx1.reserve(port_a_states.size());
+
+  for (const auto state : port_a_states) {
+    std::vector<radar::PathContribution> paths0, paths1;
+
+    // Node return through port A (port B absorbs throughout Field 2).
+    const double refl = node_switch.reflection_power(state);
+    const double p_node_dbm =
+        channel.backscatter_power_dbm(FsaPort::kA, f_node, pose, refl);
+    radar::PathContribution node_path;
+    node_path.delay_s = channel::round_trip_delay_s(pose.distance_m);
+    node_path.amplitude = std::sqrt(dbm2watt(p_node_dbm));
+    node_path.envelope = env;
+    paths0.push_back(node_path);
+    node_path.extra_phase_rad = aoa_phase;
+    paths1.push_back(node_path);
+
+    // Mirror reflection: static part + switching-correlated leakage.
+    const double mod = state == rf::SwitchState::kReflect
+                           ? config_.mirror.modulation_leakage
+                           : -config_.mirror.modulation_leakage;
+    radar::PathContribution mirror_path;
+    mirror_path.delay_s = node_path.delay_s;
+    mirror_path.amplitude = a_mirror * (1.0 + mod);
+    mirror_path.extra_phase_rad = mirror_phase;
+    paths0.push_back(mirror_path);
+    mirror_path.extra_phase_rad = mirror_phase + aoa_phase;
+    paths1.push_back(mirror_path);
+
+    // Multipath ghosts of the node's return: modulated like the node itself,
+    // so they survive subtraction and appear as weaker, longer-range targets.
+    if (config_.include_multipath_ghosts) {
+      for (const auto& g : channel.node_ghost_returns(FsaPort::kA, f_node, pose, refl)) {
+        radar::PathContribution gp;
+        gp.delay_s = g.delay_s;
+        gp.amplitude = std::sqrt(g.power_w);
+        gp.envelope = env;
+        paths0.push_back(gp);
+        const double g_offset = g.azimuth_deg - steered_azimuth_deg;
+        gp.extra_phase_rad = radar::offset_to_phase_rad(g_offset, config_.aoa);
+        paths1.push_back(gp);
+      }
+    }
+
+    // Static clutter with chirp-to-chirp drift (limits subtraction depth).
+    for (const auto& c : clutter) {
+      const double drift_a = 1.0 + rng.gaussian(0.0, channel.config().chirp_amplitude_drift);
+      const double drift_p = rng.gaussian(0.0, channel.config().chirp_phase_drift_rad);
+      radar::PathContribution cp;
+      cp.delay_s = c.delay_s;
+      cp.amplitude = std::sqrt(c.power_w) * drift_a;
+      cp.extra_phase_rad = drift_p;
+      paths0.push_back(cp);
+      const double c_offset = c.azimuth_deg - steered_azimuth_deg;
+      cp.extra_phase_rad = drift_p + radar::offset_to_phase_rad(c_offset, config_.aoa);
+      paths1.push_back(cp);
+    }
+
+    burst.rx0.push_back(
+        radar::synthesize_beat(paths0, true_chirp, fs, n, noise_w, rng));
+    burst.rx1.push_back(
+        radar::synthesize_beat(paths1, true_chirp, fs, n, noise_w, rng));
+  }
+  return burst;
+}
+
+LocalizationResult Localizer::localize(const BackscatterChannel& channel,
+                                       const NodePose& pose, milback::Rng& rng) const {
+  LocalizationResult result;
+  result.steered_azimuth_deg =
+      pose.azimuth_deg + rng.gaussian(0.0, channel.config().steering_error_sigma_deg);
+  const double slope_scale = 1.0 + rng.gaussian(0.0, config_.slope_error_rms);
+
+  // Field 2 modulation: the node toggles port A each chirp.
+  std::vector<rf::SwitchState> states(config_.n_chirps);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    states[i] = (i % 2 == 0) ? rf::SwitchState::kReflect : rf::SwitchState::kAbsorb;
+  }
+
+  const auto burst = synthesize_burst(channel, pose, states, slope_scale,
+                                      result.steered_azimuth_deg, rng);
+
+  std::vector<radar::RangeSpectrum> spectra0, spectra1;
+  for (std::size_t i = 0; i < burst.rx0.size(); ++i) {
+    spectra0.push_back(
+        radar::range_fft(burst.rx0[i], config_.beat_sample_rate_hz, config_.chirp,
+                         config_.fft));
+    spectra1.push_back(
+        radar::range_fft(burst.rx1[i], config_.beat_sample_rate_hz, config_.chirp,
+                         config_.fft));
+  }
+
+  const auto sub0 = radar::background_subtract(spectra0);
+  const auto sub1 = radar::background_subtract(spectra1);
+
+  const auto det = radar::estimate_range(sub0, spectra0.front(), config_.range);
+  if (!det) return result;
+
+  result.detected = true;
+  result.range_m = det->range_m;
+  result.detection_snr_db = det->snr_db;
+
+  // Angle: phase of the first difference spectrum at the detected bin.
+  const auto bin = std::size_t(std::llround(det->bin));
+  if (bin < sub0.first_difference.size() && bin < sub1.first_difference.size()) {
+    result.aoa_offset_deg = radar::estimate_offset_deg(
+        sub0.first_difference[bin], sub1.first_difference[bin], config_.aoa);
+  }
+  result.angle_deg =
+      result.steered_azimuth_deg + result.aoa_offset_deg.value_or(0.0);
+  return result;
+}
+
+}  // namespace milback::ap

@@ -1,0 +1,89 @@
+// AP-side localization pipeline (Sections 5.1 and 9.2 of the paper).
+//
+// The AP transmits five sawtooth FMCW chirps (Field 2) while the node
+// toggles a port between reflect and absorb. Per chirp and per RX antenna
+// the pipeline synthesizes the dechirped beat signal (node return + static
+// clutter + the node's partially-modulated mirror reflection + thermal
+// noise), takes the range FFT, background-subtracts consecutive chirps to
+// cancel clutter, finds the modulated peak for range, and compares the
+// peak-bin phase across the two RX antennas for the angle.
+#pragma once
+
+#include <optional>
+
+#include "milback/channel/backscatter_channel.hpp"
+#include "milback/radar/aoa.hpp"
+#include "milback/radar/background_subtraction.hpp"
+#include "milback/radar/beat_synthesis.hpp"
+#include "milback/radar/chirp.hpp"
+#include "milback/radar/range_estimator.hpp"
+#include "milback/radar/range_fft.hpp"
+#include "milback/util/rng.hpp"
+
+namespace milback::ap {
+
+/// Localizer parameters.
+struct LocalizerConfig {
+  radar::ChirpConfig chirp = radar::field2_chirp();
+  double beat_sample_rate_hz = 50e6;  ///< Scope capture rate at baseband.
+  std::size_t n_chirps = 5;           ///< Paper's five-chirp burst.
+  radar::RangeFftConfig fft{};
+  radar::RangeEstimatorConfig range{};
+  radar::AoaConfig aoa{};
+  double slope_error_rms = 0.008;  ///< Fractional chirp-nonlinearity jitter
+                                   ///< (VXG segment patching), a per-trial
+                                   ///< range bias that grows with distance.
+  channel::MirrorReflection mirror{};  ///< Node ground-plane reflection model.
+  rf::RfSwitchConfig node_switch{};    ///< Node switch (sets reflect/absorb
+                                       ///< contrast of the modulated return).
+  bool include_multipath_ghosts = true;  ///< Synthesize single-bounce ghosts
+                                         ///< of the node's modulated return
+                                         ///< (they survive subtraction and
+                                         ///< appear at longer range).
+};
+
+/// One localization fix.
+struct LocalizationResult {
+  bool detected = false;       ///< Whether a modulated return was found.
+  double range_m = 0.0;        ///< Estimated AP-to-node distance.
+  double angle_deg = 0.0;      ///< Estimated node bearing in the AP frame.
+  double detection_snr_db = 0.0;  ///< Peak over subtraction-floor ratio.
+  std::optional<double> aoa_offset_deg;  ///< Phase-derived offset from steering.
+  double steered_azimuth_deg = 0.0;      ///< Where the horns actually pointed.
+};
+
+/// The AP's FMCW localization engine.
+class Localizer {
+ public:
+  /// Builds a localizer.
+  explicit Localizer(const LocalizerConfig& config = {});
+
+  /// Runs one five-chirp localization of the node at `pose` through
+  /// `channel`. `rng` drives noise, clutter drift and steering error.
+  LocalizationResult localize(const channel::BackscatterChannel& channel,
+                              const channel::NodePose& pose, milback::Rng& rng) const;
+
+  /// Per-chirp beat signals at both RX antennas (they share the TX-side
+  /// randomness: clutter drift, slope error).
+  struct BurstPair {
+    std::vector<std::vector<radar::cplx>> rx0;  ///< Phase-reference antenna.
+    std::vector<std::vector<radar::cplx>> rx1;  ///< Baseline-offset antenna.
+  };
+
+  /// Builds the five-chirp beat signals for both RX antennas (exposed for
+  /// the orientation sensor and for tests). `port_a_states[i]` is the node's
+  /// port-A switch state during chirp i; port B absorbs throughout.
+  BurstPair synthesize_burst(const channel::BackscatterChannel& channel,
+                             const channel::NodePose& pose,
+                             const std::vector<rf::SwitchState>& port_a_states,
+                             double true_slope_scale, double steered_azimuth_deg,
+                             milback::Rng& rng) const;
+
+  /// Config echo.
+  const LocalizerConfig& config() const noexcept { return config_; }
+
+ private:
+  LocalizerConfig config_;
+};
+
+}  // namespace milback::ap

@@ -1,0 +1,56 @@
+#include "milback/ap/orientation_sensor.hpp"
+
+#include "milback/radar/spectrum_profile.hpp"
+
+namespace milback::ap {
+
+ApOrientationSensor::ApOrientationSensor(const OrientationSensorConfig& config)
+    : config_(config), localizer_([&] {
+        LocalizerConfig lc = config.radar;
+        lc.fft.window = dsp::WindowType::kRectangular;
+        return lc;
+      }()) {}
+
+ApOrientationResult ApOrientationSensor::estimate(
+    const channel::BackscatterChannel& channel, const channel::NodePose& pose,
+    milback::Rng& rng) const {
+  ApOrientationResult result;
+
+  const auto& lc = localizer_.config();
+  const double steered =
+      pose.azimuth_deg + rng.gaussian(0.0, channel.config().steering_error_sigma_deg);
+  const double slope_scale = 1.0 + rng.gaussian(0.0, lc.slope_error_rms);
+
+  std::vector<rf::SwitchState> states(lc.n_chirps);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    states[i] = (i % 2 == 0) ? rf::SwitchState::kReflect : rf::SwitchState::kAbsorb;
+  }
+
+  const auto burst =
+      localizer_.synthesize_burst(channel, pose, states, slope_scale, steered, rng);
+
+  std::vector<radar::RangeSpectrum> spectra;
+  spectra.reserve(burst.rx0.size());
+  for (const auto& beat : burst.rx0) {
+    spectra.push_back(
+        radar::range_fft(beat, lc.beat_sample_rate_hz, lc.chirp, lc.fft));
+  }
+  const auto sub = radar::background_subtract(spectra);
+
+  const auto profile = radar::reflected_power_profile(
+      sub.first_difference, lc.beat_sample_rate_hz, lc.chirp, config_.profile);
+  auto f_peak = profile.peak_frequency_hz();
+  if (!f_peak) return result;
+  // Chirp-vs-FSA frequency calibration tolerance (per trial).
+  *f_peak += rng.gaussian(0.0, config_.frequency_jitter_hz);
+
+  const auto angle = channel.fsa().beam_angle_deg(antenna::FsaPort::kA, *f_peak);
+  if (!angle) return result;
+
+  result.valid = true;
+  result.f_peak_hz = *f_peak;
+  result.orientation_deg = *angle;
+  return result;
+}
+
+}  // namespace milback::ap

@@ -1,0 +1,55 @@
+// AP-side orientation sensing (Section 5.2(a) of the paper).
+//
+// The node puts port B in absorb and toggles port A between absorb and
+// reflect across chirps; the AP background-subtracts the chirp spectra,
+// IFFTs back to the time domain, and reads off which chirp frequencies
+// produced the strongest reflection. The FSA scan law maps that aligned
+// frequency to the node's orientation. The node's partially-modulated
+// ground-plane mirror reflection survives subtraction and degrades the
+// estimate near the specular-collision orientations (-6..-2 degrees),
+// reproducing the Fig 13b error bump.
+#pragma once
+
+#include <optional>
+
+#include "milback/ap/localizer.hpp"
+#include "milback/radar/spectrum_profile.hpp"
+
+namespace milback::ap {
+
+/// Orientation-sensor parameters.
+struct OrientationSensorConfig {
+  LocalizerConfig radar{};             ///< Shares the Field-2 radar settings.
+  radar::ProfileConfig profile{};      ///< Power-vs-frequency binning.
+  double frequency_jitter_hz = 30e6;   ///< Per-trial chirp-vs-FSA frequency
+                                       ///< calibration tolerance (VXG segment
+                                       ///< patching + board fabrication).
+};
+
+/// One AP-side orientation estimate.
+struct ApOrientationResult {
+  bool valid = false;                   ///< Whether a profile peak was found.
+  double orientation_deg = 0.0;         ///< Estimated node orientation.
+  double f_peak_hz = 0.0;               ///< Aligned frequency found.
+};
+
+/// Estimates node orientation from the reflected-power spectrum.
+class ApOrientationSensor {
+ public:
+  /// Builds the sensor; the range-FFT window is forced rectangular so the
+  /// recovered time envelope is the FSA pattern, not the window shape.
+  explicit ApOrientationSensor(const OrientationSensorConfig& config = {});
+
+  /// Runs one orientation measurement of the node at `pose`.
+  ApOrientationResult estimate(const channel::BackscatterChannel& channel,
+                               const channel::NodePose& pose, milback::Rng& rng) const;
+
+  /// Config echo.
+  const OrientationSensorConfig& config() const noexcept { return config_; }
+
+ private:
+  OrientationSensorConfig config_;
+  Localizer localizer_;
+};
+
+}  // namespace milback::ap

@@ -1,0 +1,31 @@
+#include "milback/ap/rx_chain.hpp"
+
+#include "milback/util/units.hpp"
+
+namespace milback::ap {
+
+RxChain::RxChain(const RxChainConfig& config)
+    : config_(config),
+      antenna_(config.antenna),
+      lna_(config.lna),
+      mixer_(config.mixer),
+      bpf_(config.bpf),
+      scope_(config.scope) {}
+
+double RxChain::cascade_noise_figure_db() const noexcept {
+  // Friis cascade: F = F1 + (F2 - 1)/G1 + (F3 - 1)/(G1 G2).
+  const double f1 = db2lin(lna_.noise_figure_db());
+  const double g1 = db2lin(lna_.gain_db());
+  const double f2 = db2lin(mixer_.config().conversion_loss_db);  // passive mixer: NF ~ loss
+  const double g2 = db2lin(-mixer_.config().conversion_loss_db);
+  const double f3 = db2lin(bpf_.config().insertion_loss_db);
+  const double f = f1 + (f2 - 1.0) / g1 + (f3 - 1.0) / (g1 * g2);
+  return lin2db(f);
+}
+
+double RxChain::baseband_power_dbm(double rf_power_dbm) const noexcept {
+  return rf_power_dbm + lna_.gain_db() - mixer_.config().conversion_loss_db -
+         bpf_.config().insertion_loss_db;
+}
+
+}  // namespace milback::ap

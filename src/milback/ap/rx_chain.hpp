@@ -1,0 +1,55 @@
+// AP receive chain: horn -> LNA -> mixer (driven by the TX signal) -> BPF ->
+// scope ADC (Figure 7, right side). Two identical chains exist, one per RX
+// antenna; the phase comparison between them yields the node's angle.
+#pragma once
+
+#include "milback/rf/adc.hpp"
+#include "milback/rf/amplifier.hpp"
+#include "milback/rf/filter_stage.hpp"
+#include "milback/rf/horn_antenna.hpp"
+#include "milback/rf/mixer.hpp"
+
+namespace milback::ap {
+
+/// RX chain configuration (defaults mirror the paper's part choices).
+struct RxChainConfig {
+  rf::HornAntennaConfig antenna{};
+  rf::AmplifierConfig lna{.gain_db = 20.0, .noise_figure_db = 3.5, .p1db_out_dbm = 10.0};
+  rf::MixerConfig mixer{};
+  rf::BandPassConfig bpf{.f_low_hz = 230e3, .f_high_hz = 100e6, .insertion_loss_db = 1.0,
+                         .order = 4};
+  rf::AdcConfig scope{.sample_rate_hz = 50e6, .bits = 10, .full_scale_v = 2.0,
+                      .bipolar = true};
+};
+
+/// One of the AP's two receive chains.
+class RxChain {
+ public:
+  /// Builds the chain.
+  explicit RxChain(const RxChainConfig& config = {});
+
+  /// Cascade noise figure [dB] (Friis formula over LNA -> mixer -> BPF).
+  double cascade_noise_figure_db() const noexcept;
+
+  /// Baseband power [dBm] produced by an RF input power [dBm] (LNA gain,
+  /// mixer conversion loss, BPF mid-band insertion loss).
+  double baseband_power_dbm(double rf_power_dbm) const noexcept;
+
+  /// Component access.
+  const rf::HornAntenna& antenna() const noexcept { return antenna_; }
+  const rf::Amplifier& lna() const noexcept { return lna_; }
+  const rf::Mixer& mixer() const noexcept { return mixer_; }
+  const rf::BandPassFilter& bpf() const noexcept { return bpf_; }
+  const rf::Adc& scope() const noexcept { return scope_; }
+  const RxChainConfig& config() const noexcept { return config_; }
+
+ private:
+  RxChainConfig config_;
+  rf::HornAntenna antenna_;
+  rf::Amplifier lna_;
+  rf::Mixer mixer_;
+  rf::BandPassFilter bpf_;
+  rf::Adc scope_;
+};
+
+}  // namespace milback::ap

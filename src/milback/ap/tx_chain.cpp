@@ -1,0 +1,25 @@
+#include "milback/ap/tx_chain.hpp"
+
+namespace milback::ap {
+
+TxChain::TxChain(const TxChainConfig& config)
+    : config_(config),
+      generator_(config.generator),
+      pa_(config.pa),
+      antenna_(config.antenna) {}
+
+double TxChain::antenna_port_power_dbm() const noexcept {
+  // The generator config's output_power_dbm is the calibrated post-PA chain
+  // output (27 dBm in the paper); only the cabling to the horn remains.
+  return config_.generator.output_power_dbm - config_.cable_loss_db;
+}
+
+double TxChain::eirp_dbm() const noexcept {
+  return antenna_port_power_dbm() + config_.antenna.boresight_gain_dbi;
+}
+
+rf::TwoToneSignal TxChain::make_two_tone(double f_a_hz, double f_b_hz) const {
+  return generator_.make_two_tone(f_a_hz, f_b_hz);
+}
+
+}  // namespace milback::ap

@@ -1,0 +1,68 @@
+// AP-side uplink receiver (Section 6.3, Figure 7 of the paper).
+//
+// The AP transmits the two-tone query and receives the node's selectively
+// reflected tones on two antennas; each antenna's signal is mixed with one
+// query tone, band-pass filtered (killing the DC self-interference and
+// static clutter products), and sliced. The simulation synthesizes each
+// tone's complex baseband: amplitude follows sqrt(backscatter power) through
+// the switch's finite-transition reflection waveform, a static clutter/SI
+// phasor rides on top (then gets AC-coupled away like the BPF does), and
+// effective noise includes the residual multiplicative self-interference
+// term that caps short-range SNR.
+#pragma once
+
+#include <vector>
+
+#include "milback/ap/downlink_transmitter.hpp"
+#include "milback/channel/backscatter_channel.hpp"
+#include "milback/core/oaqfm.hpp"
+#include "milback/node/uplink_modulator.hpp"
+#include "milback/util/rng.hpp"
+
+namespace milback::ap {
+
+/// Uplink receiver knobs.
+struct UplinkRxConfig {
+  double symbol_rate_hz = 5e6;   ///< 10 Mbps at 2 bits/symbol.
+  std::size_t oversample = 16;   ///< Simulation samples per symbol.
+  double integrate_start = 0.25; ///< Symbol fraction where integration starts
+                                 ///< (skips the switch transition).
+  double integrate_stop = 0.95;  ///< Symbol fraction where integration ends.
+  std::size_t pilot_symbols = 4; ///< Known "11","00",... prefix the node
+                                 ///< prepends; the receiver uses it to resolve
+                                 ///< the carrier-phase sign and set the slicer
+                                 ///< threshold, then strips it from the output.
+};
+
+/// Result of receiving one uplink burst.
+struct UplinkReception {
+  std::vector<core::OaqfmSymbol> symbols;  ///< Decoded symbols.
+  double measured_snr_a_db = 0.0;  ///< Decision-statistic SNR, tone A.
+  double measured_snr_b_db = 0.0;  ///< Decision-statistic SNR, tone B.
+  std::vector<double> decision_a;  ///< |integrator| outputs per symbol, tone A.
+  std::vector<double> decision_b;  ///< |integrator| outputs per symbol, tone B.
+};
+
+/// The AP's uplink demodulator.
+class UplinkReceiver {
+ public:
+  /// Builds the receiver.
+  explicit UplinkReceiver(const UplinkRxConfig& config = {});
+
+  /// Receives a burst: the node at `pose` modulates the query tones of
+  /// `selection` following `schedule` through switches configured as
+  /// `node_switch`.
+  UplinkReception receive(const channel::BackscatterChannel& channel,
+                          const channel::NodePose& pose,
+                          const CarrierSelection& selection,
+                          const node::UplinkSchedule& schedule,
+                          const rf::RfSwitchConfig& node_switch, milback::Rng& rng) const;
+
+  /// Config echo.
+  const UplinkRxConfig& config() const noexcept { return config_; }
+
+ private:
+  UplinkRxConfig config_;
+};
+
+}  // namespace milback::ap

@@ -1,0 +1,71 @@
+#include "milback/baselines/capability.hpp"
+
+#include "milback/antenna/fsa.hpp"
+#include "milback/baselines/millimetro.hpp"
+#include "milback/baselines/mmtag.hpp"
+#include "milback/baselines/omniscatter.hpp"
+#include "milback/channel/link_budget.hpp"
+#include "milback/node/power_model.hpp"
+
+namespace milback::baselines {
+
+namespace {
+
+/// MilBack itself, adapted to the comparison interface. Capabilities follow
+/// from the dual-port FSA (signal ports -> downlink; frequency-scanned beams
+/// -> orientation) and the FMCW protocol (localization).
+class MilBackSystem final : public BackscatterSystem {
+ public:
+  MilBackSystem()
+      : channel_(channel::BackscatterChannel::make_default(
+            channel::Environment::anechoic())) {}
+
+  std::string name() const override { return "MilBack"; }
+
+  Capabilities capabilities() const override {
+    return Capabilities{.uplink = true, .downlink = true, .localization = true,
+                        .orientation = true};
+  }
+
+  std::optional<double> uplink_snr_db(double distance_m,
+                                      double bit_rate_bps) const override {
+    channel::NodePose pose{.distance_m = distance_m, .azimuth_deg = 0.0,
+                           .orientation_deg = 10.0};
+    rf::RfSwitch sw{rf::RfSwitchConfig{}};
+    const auto f = channel_.fsa().beam_frequency_hz(antenna::FsaPort::kA,
+                                                    pose.orientation_deg);
+    if (!f) return std::nullopt;
+    const auto budget = channel::compute_uplink_budget(channel_, pose,
+                                                       antenna::FsaPort::kA, *f, sw,
+                                                       bit_rate_bps);
+    return budget.snr_db;
+  }
+
+  std::optional<double> energy_per_bit_nj() const override {
+    const node::PowerModelConfig pw{};
+    const double rate = 40e6;
+    const double power = node::node_power_w(node::NodeMode::kUplink, pw, rate / 2.0);
+    return node::energy_per_bit_j(power, rate) * 1e9;
+  }
+
+  double max_uplink_rate_bps() const override {
+    rf::RfSwitch sw{rf::RfSwitchConfig{}};
+    return 2.0 * sw.max_toggle_rate_hz();
+  }
+
+ private:
+  channel::BackscatterChannel channel_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<BackscatterSystem>> make_comparison_systems() {
+  std::vector<std::unique_ptr<BackscatterSystem>> systems;
+  systems.push_back(std::make_unique<MmTag>());
+  systems.push_back(std::make_unique<Millimetro>());
+  systems.push_back(std::make_unique<OmniScatter>());
+  systems.push_back(std::make_unique<MilBackSystem>());
+  return systems;
+}
+
+}  // namespace milback::baselines

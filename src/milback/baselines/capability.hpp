@@ -1,0 +1,51 @@
+// Common interface for the mmWave backscatter systems compared in Table 1.
+//
+// Each baseline is a small physical model (not a stub): capabilities are
+// derived from what the modeled hardware can actually do — e.g. a Van Atta
+// array has no signal port, so mmTag/Millimetro-style tags cannot receive a
+// downlink — and link metrics come from the same channel physics MilBack
+// uses.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace milback::baselines {
+
+/// The four capabilities of Table 1.
+struct Capabilities {
+  bool uplink = false;
+  bool downlink = false;
+  bool localization = false;
+  bool orientation = false;
+};
+
+/// A comparable backscatter system.
+class BackscatterSystem {
+ public:
+  virtual ~BackscatterSystem() = default;
+
+  /// System name as used in Table 1.
+  virtual std::string name() const = 0;
+
+  /// What the modeled hardware supports.
+  virtual Capabilities capabilities() const = 0;
+
+  /// Uplink SNR [dB] at `distance_m` and `bit_rate_bps`; std::nullopt when
+  /// the system has no uplink.
+  virtual std::optional<double> uplink_snr_db(double distance_m,
+                                              double bit_rate_bps) const = 0;
+
+  /// Node energy per uplink bit [nJ/bit]; std::nullopt when not applicable.
+  virtual std::optional<double> energy_per_bit_nj() const = 0;
+
+  /// Maximum uplink bit rate [bps]; 0 when no uplink.
+  virtual double max_uplink_rate_bps() const = 0;
+};
+
+/// Builds the full Table-1 lineup: mmTag, Millimetro, OmniScatter, MilBack.
+std::vector<std::unique_ptr<BackscatterSystem>> make_comparison_systems();
+
+}  // namespace milback::baselines

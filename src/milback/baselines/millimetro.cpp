@@ -1,0 +1,38 @@
+#include "milback/baselines/millimetro.hpp"
+
+#include "milback/channel/propagation.hpp"
+#include "milback/rf/noise.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::baselines {
+
+Millimetro::Millimetro(const MillimetroConfig& config)
+    : config_(config), antenna_(config.antenna) {}
+
+Capabilities Millimetro::capabilities() const {
+  return Capabilities{.uplink = false,
+                      .downlink = VanAttaArray::has_signal_port(),
+                      .localization = true,
+                      .orientation = false};
+}
+
+std::optional<double> Millimetro::uplink_snr_db(double, double) const {
+  return std::nullopt;  // identity beacon only; no data uplink
+}
+
+double Millimetro::localization_snr_db(double distance_m) const {
+  const double retro = antenna_.retro_gain_db(0.0);
+  const double fspl = channel::fspl_db(distance_m, config_.carrier_hz);
+  const double rx_dbm = config_.radar_tx_power_dbm + 2.0 * config_.radar_gain_dbi +
+                        retro - 2.0 * fspl - config_.implementation_loss_db;
+  // Detection bandwidth tied to the beacon switching rate.
+  const double noise_dbm =
+      rf::noise_floor_dbm(config_.beacon_rate_bps * 2.0, config_.rx_noise_figure_db);
+  return rx_dbm - noise_dbm + config_.coherent_processing_gain_db;
+}
+
+double Millimetro::range_resolution_m() const {
+  return kSpeedOfLight / (2.0 * config_.chirp_bandwidth_hz);
+}
+
+}  // namespace milback::baselines

@@ -1,0 +1,54 @@
+// Millimetro baseline (Soltanaghaei et al., MobiCom 2021): mmWave
+// retro-reflective tags for accurate, long-range localization. A Van Atta
+// array toggled at a tag-specific low rate lets an FMCW radar isolate and
+// range the tag; there is no data uplink (beyond the identity beacon) and no
+// downlink. Capabilities per Table 1: localization only.
+#pragma once
+
+#include "milback/baselines/capability.hpp"
+#include "milback/baselines/van_atta.hpp"
+
+namespace milback::baselines {
+
+/// Millimetro model parameters.
+struct MillimetroConfig {
+  VanAttaConfig antenna{};
+  double radar_tx_power_dbm = 12.0;   ///< Commodity radar front end.
+  double radar_gain_dbi = 15.0;
+  double carrier_hz = 24.0e9;
+  double chirp_bandwidth_hz = 250e6;  ///< Commodity FMCW radar sweep.
+  double implementation_loss_db = 15.0;
+  double rx_noise_figure_db = 12.0;
+  double coherent_processing_gain_db = 35.0;  ///< Long integration across chirps.
+  double beacon_rate_bps = 1e3;       ///< Identity switching, not a data link.
+};
+
+/// Localization-only retro-reflective tag.
+class Millimetro final : public BackscatterSystem {
+ public:
+  /// Builds the model.
+  explicit Millimetro(const MillimetroConfig& config = {});
+
+  std::string name() const override { return "Millimetro"; }
+  Capabilities capabilities() const override;
+  std::optional<double> uplink_snr_db(double distance_m,
+                                      double bit_rate_bps) const override;
+  std::optional<double> energy_per_bit_nj() const override { return std::nullopt; }
+  double max_uplink_rate_bps() const override { return 0.0; }
+
+  /// Radar detection SNR [dB] of the tag at `distance_m` (what localization
+  /// quality rides on).
+  double localization_snr_db(double distance_m) const;
+
+  /// FMCW range resolution [m] of the commodity radar sweep.
+  double range_resolution_m() const;
+
+  /// Config echo.
+  const MillimetroConfig& config() const noexcept { return config_; }
+
+ private:
+  MillimetroConfig config_;
+  VanAttaArray antenna_;
+};
+
+}  // namespace milback::baselines

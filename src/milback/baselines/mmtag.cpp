@@ -1,0 +1,35 @@
+#include "milback/baselines/mmtag.hpp"
+
+#include "milback/channel/propagation.hpp"
+#include "milback/rf/noise.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::baselines {
+
+MmTag::MmTag(const MmTagConfig& config) : config_(config), antenna_(config.antenna) {}
+
+Capabilities MmTag::capabilities() const {
+  // Uplink: yes (switched PSK on the Van Atta). Everything else is blocked
+  // by the portless antenna / missing radar waveform support.
+  return Capabilities{.uplink = true,
+                      .downlink = VanAttaArray::has_signal_port(),
+                      .localization = false,
+                      .orientation = false};
+}
+
+std::optional<double> MmTag::uplink_snr_db(double distance_m,
+                                           double bit_rate_bps) const {
+  const double retro = antenna_.retro_gain_db(0.0) - config_.modulation_loss_db;
+  const double fspl = channel::fspl_db(distance_m, config_.carrier_hz);
+  const double rx_dbm = config_.ap_tx_power_dbm + 2.0 * config_.ap_antenna_gain_dbi +
+                        retro - 2.0 * fspl - config_.implementation_loss_db;
+  const double noise_dbm =
+      rf::noise_floor_dbm(bit_rate_bps, config_.rx_noise_figure_db);
+  return rx_dbm - noise_dbm;
+}
+
+std::optional<double> MmTag::energy_per_bit_nj() const {
+  return config_.energy_per_bit_nj;
+}
+
+}  // namespace milback::baselines

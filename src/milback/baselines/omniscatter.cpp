@@ -1,0 +1,37 @@
+#include "milback/baselines/omniscatter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "milback/channel/propagation.hpp"
+#include "milback/rf/noise.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::baselines {
+
+OmniScatter::OmniScatter(const OmniScatterConfig& config) : config_(config) {}
+
+Capabilities OmniScatter::capabilities() const {
+  return Capabilities{.uplink = true,
+                      .downlink = false,  // tag has no receive chain
+                      .localization = true,
+                      .orientation = false};
+}
+
+std::optional<double> OmniScatter::uplink_snr_db(double distance_m,
+                                                 double bit_rate_bps) const {
+  const double fspl = channel::fspl_db(distance_m, config_.carrier_hz);
+  const double rx_dbm = config_.radar_tx_power_dbm + 2.0 * config_.radar_gain_dbi +
+                        2.0 * config_.tag_antenna_gain_dbi - 2.0 * fspl -
+                        config_.implementation_loss_db;
+  // Matched-filter detection in the bit bandwidth, plus code-domain
+  // despreading gain that shrinks as the bit rate approaches the chip rate.
+  const double noise_dbm =
+      rf::noise_floor_dbm(std::max(bit_rate_bps, 1.0), config_.rx_noise_figure_db);
+  const double despread_db = std::min(
+      config_.coding_gain_db,
+      lin2db(std::max(config_.chip_rate_hz / std::max(bit_rate_bps, 1.0), 1.0)));
+  return rx_dbm - noise_dbm + despread_db;
+}
+
+}  // namespace milback::baselines

@@ -1,0 +1,48 @@
+// OmniScatter baseline (Bae et al., MobiSys 2022): extreme-sensitivity
+// mmWave backscatter using commodity FMCW radar. The tag modulates in the
+// FMCW code domain, buying enormous processing gain and hence very long
+// range at low bit rates. Capabilities per Table 1: uplink and localization,
+// no downlink (still no receiver on the tag), no orientation sensing.
+#pragma once
+
+#include "milback/baselines/capability.hpp"
+
+namespace milback::baselines {
+
+/// OmniScatter model parameters.
+struct OmniScatterConfig {
+  double radar_tx_power_dbm = 12.0;
+  double radar_gain_dbi = 15.0;
+  double tag_antenna_gain_dbi = 6.0;   ///< Quasi-omni tag antenna.
+  double carrier_hz = 60.0e9;
+  double implementation_loss_db = 15.0;
+  double rx_noise_figure_db = 12.0;
+  double coding_gain_db = 60.0;        ///< FMCW code-domain despreading gain.
+  double chip_rate_hz = 10e6;          ///< Modulation chip rate.
+  double max_bit_rate_bps = 100e3;     ///< Low rate is the price of the gain.
+  double energy_per_bit_nj = 0.6;      ///< Very low power HW, but low rate.
+};
+
+/// Code-domain FMCW backscatter tag.
+class OmniScatter final : public BackscatterSystem {
+ public:
+  /// Builds the model.
+  explicit OmniScatter(const OmniScatterConfig& config = {});
+
+  std::string name() const override { return "OmniScatter"; }
+  Capabilities capabilities() const override;
+  std::optional<double> uplink_snr_db(double distance_m,
+                                      double bit_rate_bps) const override;
+  std::optional<double> energy_per_bit_nj() const override {
+    return config_.energy_per_bit_nj;
+  }
+  double max_uplink_rate_bps() const override { return config_.max_bit_rate_bps; }
+
+  /// Config echo.
+  const OmniScatterConfig& config() const noexcept { return config_; }
+
+ private:
+  OmniScatterConfig config_;
+};
+
+}  // namespace milback::baselines

@@ -1,0 +1,149 @@
+#include "milback/channel/backscatter_channel.hpp"
+
+#include <cmath>
+
+#include "milback/rf/noise.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::channel {
+
+BackscatterChannel::BackscatterChannel(ChannelConfig config, rf::HornAntenna ap_tx,
+                                       rf::HornAntenna ap_rx, antenna::DualPortFsa fsa,
+                                       Environment environment)
+    : config_(config),
+      ap_tx_(ap_tx),
+      ap_rx_(ap_rx),
+      fsa_(std::move(fsa)),
+      environment_(std::move(environment)) {}
+
+BackscatterChannel BackscatterChannel::make_default(Environment environment,
+                                                    ChannelConfig config) {
+  return BackscatterChannel(config, rf::HornAntenna(rf::HornAntennaConfig{}),
+                            rf::HornAntenna(rf::HornAntennaConfig{}),
+                            antenna::DualPortFsa(antenna::FsaConfig{}),
+                            std::move(environment));
+}
+
+double BackscatterChannel::incident_port_power_dbm(antenna::FsaPort port, double f_hz,
+                                                   const NodePose& pose) const noexcept {
+  // AP horn is steered at the node -> zero offset on the AP side. The node's
+  // FSA sees the AP at angle `orientation_deg` off its broadside.
+  const double node_gain = fsa_.gain_dbi(port, f_hz, pose.orientation_deg);
+  return friis_dbm(config_.tx_power_dbm, ap_tx_.config().boresight_gain_dbi, node_gain,
+                   pose.distance_m, f_hz) -
+         config_.implementation_loss_one_way_db - config_.blockage_loss_db;
+}
+
+double BackscatterChannel::cross_port_power_dbm(antenna::FsaPort intended_port, double f_hz,
+                                                const NodePose& pose) const noexcept {
+  const auto other = antenna::other_port(intended_port);
+  const double node_gain = fsa_.gain_dbi(other, f_hz, pose.orientation_deg);
+  return friis_dbm(config_.tx_power_dbm, ap_tx_.config().boresight_gain_dbi, node_gain,
+                   pose.distance_m, f_hz) -
+         config_.implementation_loss_one_way_db - config_.blockage_loss_db;
+}
+
+double BackscatterChannel::backscatter_power_dbm(antenna::FsaPort port, double f_hz,
+                                                 const NodePose& pose,
+                                                 double reflect_power_coeff) const noexcept {
+  const double node_gain = fsa_.gain_dbi(port, f_hz, pose.orientation_deg);
+  return backscatter_dbm(config_.tx_power_dbm, ap_tx_.config().boresight_gain_dbi,
+                         ap_rx_.config().boresight_gain_dbi, node_gain, node_gain,
+                         reflect_power_coeff, pose.distance_m, f_hz) -
+         config_.implementation_loss_two_way_db - 2.0 * config_.blockage_loss_db;
+}
+
+ReturnPath BackscatterChannel::node_return(antenna::FsaPort port, double f_hz,
+                                           const NodePose& pose,
+                                           double reflect_power_coeff) const noexcept {
+  ReturnPath r;
+  r.delay_s = round_trip_delay_s(pose.distance_m);
+  r.power_w = dbm2watt(backscatter_power_dbm(port, f_hz, pose, reflect_power_coeff));
+  r.azimuth_deg = pose.azimuth_deg;
+  r.modulated = true;
+  return r;
+}
+
+std::vector<ReturnPath> BackscatterChannel::clutter_returns(double f_hz,
+                                                            const NodePose& pose) const {
+  std::vector<ReturnPath> out;
+  out.reserve(environment_.size());
+  for (const auto& c : environment_.clutter()) {
+    const double offset = c.azimuth_deg - pose.azimuth_deg;  // horns point at node
+    const double gain_tx = ap_tx_.gain_dbi(offset);
+    const double gain_rx = ap_rx_.gain_dbi(offset);
+    ReturnPath r;
+    r.delay_s = round_trip_delay_s(c.range_m);
+    r.power_w = dbm2watt(radar_return_dbm(config_.tx_power_dbm, gain_tx, gain_rx, c.rcs_m2,
+                                          c.range_m, f_hz) -
+                         config_.implementation_loss_two_way_db);
+    r.azimuth_deg = c.azimuth_deg;
+    r.modulated = false;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<ReturnPath> BackscatterChannel::node_ghost_returns(
+    antenna::FsaPort port, double f_hz, const NodePose& pose,
+    double reflect_power_coeff, double ghost_bounce_loss_db) const {
+  std::vector<ReturnPath> out;
+  const double direct_dbm = backscatter_power_dbm(port, f_hz, pose, reflect_power_coeff);
+
+  // Cartesian geometry: AP at origin, node and reflectors in the plane.
+  const double nx = pose.distance_m * std::cos(deg2rad(pose.azimuth_deg));
+  const double ny = pose.distance_m * std::sin(deg2rad(pose.azimuth_deg));
+  // Node boresight direction (unit vector): toward the AP rotated by the
+  // orientation angle.
+  const double to_ap = std::atan2(-ny, -nx);
+  const double boresight = to_ap + deg2rad(pose.orientation_deg);
+
+  for (const auto& c : environment_.clutter()) {
+    const double wx = c.range_m * std::cos(deg2rad(c.azimuth_deg));
+    const double wy = c.range_m * std::sin(deg2rad(c.azimuth_deg));
+    const double d_aw = std::hypot(wx, wy);
+    const double d_wn = std::hypot(nx - wx, ny - wy);
+    if (d_wn < 0.05) continue;  // reflector colocated with the node
+
+    // Bounced leg: AP -> wall -> node. Arrival angle at the node relative to
+    // its boresight sets the FSA gain for that leg.
+    const double arrival = std::atan2(wy - ny, wx - nx);
+    const double node_angle_deg = rad2deg(wrap_radians(arrival - boresight));
+    const double g_node_ghost = fsa_.gain_dbi(port, f_hz, node_angle_deg);
+    const double g_node_direct = fsa_.gain_dbi(port, f_hz, pose.orientation_deg);
+
+    // AP-side pattern toward the wall (horns steered at the node).
+    const double horn_off = c.azimuth_deg - pose.azimuth_deg;
+    const double g_horn_ghost = ap_tx_.gain_dbi(horn_off);
+    const double g_horn_direct = ap_tx_.config().boresight_gain_dbi;
+
+    // Ghost = one direct leg + one bounced leg (out-via-wall/back-direct and
+    // out-direct/back-via-wall coincide in delay; +3 dB for the pair).
+    const double extra_spread_db =
+        20.0 * std::log10(std::max((d_aw + d_wn) / pose.distance_m, 1.0));
+    const double ghost_dbm = direct_dbm - ghost_bounce_loss_db - extra_spread_db +
+                             (g_node_ghost - g_node_direct) +
+                             (g_horn_ghost - g_horn_direct) + 3.0;
+    if (ghost_dbm < direct_dbm - 40.0) continue;
+
+    ReturnPath r;
+    r.delay_s = (pose.distance_m + d_aw + d_wn) / kSpeedOfLight;
+    r.power_w = dbm2watt(ghost_dbm);
+    r.azimuth_deg = 0.5 * (pose.azimuth_deg + c.azimuth_deg);  // smeared AoA
+    r.modulated = true;
+    out.push_back(r);
+  }
+  return out;
+}
+
+double BackscatterChannel::ap_noise_floor_w(double bandwidth_hz) const noexcept {
+  return rf::noise_floor_w(bandwidth_hz, config_.rx_noise_figure_db);
+}
+
+double BackscatterChannel::effective_uplink_noise_w(double rx_power_w,
+                                                    double bandwidth_hz) const noexcept {
+  const double mult = rx_power_w * db2lin(config_.multiplicative_noise_db);
+  return ap_noise_floor_w(bandwidth_hz) + mult;
+}
+
+}  // namespace milback::channel

@@ -1,0 +1,18 @@
+#include "milback/channel/environment.hpp"
+
+namespace milback::channel {
+
+Environment Environment::indoor_office(milback::Rng& rng, std::size_t objects) {
+  Environment env;
+  // Back and side walls: large, far, strong.
+  env.add({rng.uniform(8.0, 12.0), rng.uniform(-8.0, 8.0), rng.uniform(0.5, 2.0)});
+  env.add({rng.uniform(4.0, 7.0), rng.uniform(20.0, 40.0), rng.uniform(0.3, 1.0)});
+  env.add({rng.uniform(4.0, 7.0), rng.uniform(-40.0, -20.0), rng.uniform(0.3, 1.0)});
+  // Furniture: closer, smaller.
+  for (std::size_t i = 3; i < objects; ++i) {
+    env.add({rng.uniform(1.5, 8.0), rng.uniform(-30.0, 30.0), rng.uniform(0.05, 0.5)});
+  }
+  return env;
+}
+
+}  // namespace milback::channel

@@ -1,0 +1,55 @@
+#include "milback/core/energy.hpp"
+
+namespace milback::core {
+
+std::vector<EnergyRow> milback_energy_rows(const node::PowerModelConfig& config,
+                                           double downlink_rate_bps,
+                                           double uplink_rate_bps) {
+  using node::NodeMode;
+  std::vector<EnergyRow> rows;
+
+  const double p_dl = node::node_power_w(NodeMode::kDownlink, config);
+  rows.push_back({"MilBack", "downlink @ " + std::to_string(int(downlink_rate_bps / 1e6)) +
+                                 " Mbps",
+                  p_dl * 1e3, downlink_rate_bps / 1e6,
+                  node::energy_per_bit_j(p_dl, downlink_rate_bps) * 1e9});
+
+  const double p_loc = node::node_power_w(NodeMode::kLocalization, config, 10e3);
+  rows.push_back({"MilBack", "localization", p_loc * 1e3, 0.0, 0.0});
+
+  const double uplink_symbol_rate = uplink_rate_bps / 2.0;
+  const double p_ul = node::node_power_w(NodeMode::kUplink, config, uplink_symbol_rate);
+  rows.push_back({"MilBack", "uplink @ " + std::to_string(int(uplink_rate_bps / 1e6)) +
+                                 " Mbps",
+                  p_ul * 1e3, uplink_rate_bps / 1e6,
+                  node::energy_per_bit_j(p_ul, uplink_rate_bps) * 1e9});
+  return rows;
+}
+
+double packet_node_energy_j(const PacketTiming& timing, LinkDirection direction,
+                            const node::PowerModelConfig& config,
+                            double uplink_symbol_rate_hz,
+                            double localization_toggle_hz) {
+  using node::NodeMode;
+  double energy = 0.0;
+  energy += node::node_power_w(NodeMode::kOrientationSensing, config) * timing.field1_s;
+  energy += node::node_power_w(NodeMode::kLocalization, config, localization_toggle_hz) *
+            timing.field2_s;
+  if (direction == LinkDirection::kDownlink) {
+    energy += node::node_power_w(NodeMode::kDownlink, config) * timing.payload_s;
+  } else {
+    energy += node::node_power_w(NodeMode::kUplink, config, uplink_symbol_rate_hz) *
+              timing.payload_s;
+  }
+  return energy;
+}
+
+double battery_life_hours(double packet_energy_j, double packets_per_second,
+                          double battery_mwh, double idle_power_w) {
+  const double battery_j = battery_mwh * 3.6;  // mWh -> J
+  const double average_power_w = packet_energy_j * packets_per_second + idle_power_w;
+  if (average_power_w <= 0.0) return 0.0;
+  return battery_j / average_power_w / 3600.0;
+}
+
+}  // namespace milback::core

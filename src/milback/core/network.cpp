@@ -1,0 +1,159 @@
+#include "milback/core/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "milback/core/ber.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::core {
+
+MilBackNetwork::MilBackNetwork(channel::BackscatterChannel channel, NetworkConfig config)
+    : config_(config), link_(std::move(channel), config.link) {}
+
+std::size_t MilBackNetwork::add_node(std::string id, const channel::NodePose& pose) {
+  nodes_.push_back(NetworkNode{std::move(id), pose});
+  return nodes_.size() - 1;
+}
+
+std::vector<DiscoveryResult> MilBackNetwork::discover(milback::Rng& rng) const {
+  std::vector<DiscoveryResult> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    DiscoveryResult d;
+    d.id = n.id;
+    d.localization = link_.localize(n.pose, rng);
+    d.orientation = link_.sense_orientation_at_ap(n.pose, rng);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> MilBackNetwork::sdm_slots() const {
+  std::vector<std::vector<std::size_t>> slots;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    bool placed = false;
+    for (auto& slot : slots) {
+      const bool compatible = std::all_of(slot.begin(), slot.end(), [&](std::size_t j) {
+        return std::abs(nodes_[i].pose.azimuth_deg - nodes_[j].pose.azimuth_deg) >=
+               config_.sdm_min_separation_deg;
+      });
+      if (compatible) {
+        slot.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) slots.push_back({i});
+  }
+  return slots;
+}
+
+double MilBackNetwork::inter_node_isolation_db(std::size_t i, std::size_t j) const {
+  const double offset =
+      std::abs(nodes_[i].pose.azimuth_deg - nodes_[j].pose.azimuth_deg);
+  const auto& tx = link_.channel().ap_tx_antenna();
+  const auto& rx = link_.channel().ap_rx_antenna();
+  // The beam serving node i both illuminates node j and receives from it
+  // attenuated by the pattern at the bearing offset (two pattern passes).
+  const double tx_rejection = tx.config().boresight_gain_dbi - tx.gain_dbi(offset);
+  const double rx_rejection = rx.config().boresight_gain_dbi - rx.gain_dbi(offset);
+  return tx_rejection + rx_rejection;
+}
+
+RoundResult MilBackNetwork::run_uplink_round(std::size_t bits_per_node,
+                                             milback::Rng& rng) const {
+  RoundResult round;
+  const auto slots = sdm_slots();
+  round.sdm_slots = slots.size();
+
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    for (const std::size_t i : slots[s]) {
+      NodeRoundResult nr;
+      nr.id = nodes_[i].id;
+      nr.sdm_slot = s;
+
+      const auto bits = rng.bits(bits_per_node);
+      nr.uplink = link_.run_uplink(nodes_[i].pose, bits, rng);
+
+      // Degrade the budget SNR by concurrent transmitters in this slot.
+      double interference_w = 0.0;
+      rf::RfSwitch sw(link_.node().config().rf_switch);
+      const double mod = channel::modulation_power_coeff(sw);
+      for (const std::size_t j : slots[s]) {
+        if (j == i) continue;
+        const double p_j = dbm2watt(link_.channel().backscatter_power_dbm(
+            antenna::FsaPort::kA,
+            link_.channel().fsa().config().center_frequency_hz, nodes_[j].pose, mod));
+        interference_w += p_j * db2lin(-inter_node_isolation_db(i, j));
+      }
+      const double signal_w = dbm2watt(
+          nr.uplink.carriers_ok
+              ? link_.channel().backscatter_power_dbm(
+                    antenna::FsaPort::kA, nr.uplink.carriers.f_a_hz, nodes_[i].pose, mod)
+              : -300.0);
+      const double noise_w = link_.channel().effective_uplink_noise_w(
+          signal_w, link_.config().uplink_bit_rate_bps);
+      nr.effective_snr_db = lin2db(std::max(signal_w, 1e-300) /
+                                   (noise_w + interference_w));
+
+      const double ber = ber_ook_noncoherent(db2lin(nr.effective_snr_db));
+      nr.goodput_bps = (1.0 - ber) * link_.config().uplink_bit_rate_bps /
+                       double(slots.size());
+      round.aggregate_goodput_bps += nr.goodput_bps;
+      round.nodes.push_back(std::move(nr));
+    }
+  }
+  return round;
+}
+
+MilBackNetwork::DownlinkRoundResult MilBackNetwork::run_downlink_round(
+    std::size_t bits_per_node, milback::Rng& rng) const {
+  DownlinkRoundResult round;
+  const auto slots = sdm_slots();
+  round.sdm_slots = slots.size();
+
+  rf::EnvelopeDetector det{link_.node().config().detector};
+
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    for (const std::size_t i : slots[s]) {
+      NodeDownlinkResult nr;
+      nr.id = nodes_[i].id;
+      nr.sdm_slot = s;
+
+      const auto bits = rng.bits(bits_per_node);
+      nr.downlink = link_.run_downlink(nodes_[i].pose, bits, rng);
+
+      // Inter-beam leakage: the beam serving node j also illuminates node i,
+      // attenuated by the TX horn pattern at their bearing offset. Node i's
+      // detector integrates that extra power as interference on top of its
+      // own cross-port (sidelobe) term and detector noise.
+      if (nr.downlink.carriers_ok) {
+        const double p_sig_w = dbm2watt(link_.channel().incident_port_power_dbm(
+            antenna::FsaPort::kA, nr.downlink.carriers.f_a_hz, nodes_[i].pose));
+        double interference_w =
+            p_sig_w * db2lin(link_.channel().fsa().config().sidelobe_floor_db);
+        const auto& tx = link_.channel().ap_tx_antenna();
+        for (const std::size_t j : slots[s]) {
+          if (j == i) continue;
+          const double offset =
+              std::abs(nodes_[i].pose.azimuth_deg - nodes_[j].pose.azimuth_deg);
+          const double rejection_db =
+              tx.config().boresight_gain_dbi - tx.gain_dbi(offset);
+          interference_w += p_sig_w * db2lin(-rejection_db);
+        }
+        const double noise_eq_w = det.input_power_for_voltage(std::sqrt(
+            det.noise_power_v2(link_.config().downlink_measurement_bw_hz)));
+        nr.effective_sinr_db = lin2db(p_sig_w / (noise_eq_w + interference_w));
+        const double ber = ber_ook_noncoherent(db2lin(nr.effective_sinr_db));
+        nr.goodput_bps = (1.0 - ber) * link_.config().downlink_bit_rate_bps /
+                         double(slots.size());
+      }
+      round.aggregate_goodput_bps += nr.goodput_bps;
+      round.nodes.push_back(std::move(nr));
+    }
+  }
+  return round;
+}
+
+}  // namespace milback::core

@@ -1,0 +1,57 @@
+#include "milback/core/oaqfm.hpp"
+
+namespace milback::core {
+
+std::vector<OaqfmSymbol> uplink_pilot(std::size_t n) {
+  std::vector<OaqfmSymbol> pilot(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pilot[i] = (i % 2 == 0) ? OaqfmSymbol::k11 : OaqfmSymbol::k00;
+  }
+  return pilot;
+}
+
+std::vector<OaqfmSymbol> symbols_from_bits(const std::vector<bool>& bits) {
+  std::vector<OaqfmSymbol> out;
+  out.reserve((bits.size() + 1) / 2);
+  for (std::size_t i = 0; i < bits.size(); i += 2) {
+    const bool msb = bits[i];
+    const bool lsb = (i + 1 < bits.size()) ? bits[i + 1] : false;
+    out.push_back(static_cast<OaqfmSymbol>((msb ? 0b10 : 0) | (lsb ? 0b01 : 0)));
+  }
+  return out;
+}
+
+std::vector<bool> bits_from_symbols(const std::vector<OaqfmSymbol>& symbols) {
+  std::vector<bool> out;
+  out.reserve(symbols.size() * 2);
+  for (const auto s : symbols) {
+    const auto v = static_cast<std::uint8_t>(s);
+    out.push_back((v & 0b10) != 0);
+    out.push_back((v & 0b01) != 0);
+  }
+  return out;
+}
+
+std::size_t bit_errors(const std::vector<OaqfmSymbol>& tx,
+                       const std::vector<OaqfmSymbol>& rx) {
+  const std::size_t common = std::min(tx.size(), rx.size());
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < common; ++i) {
+    const auto diff = static_cast<std::uint8_t>(tx[i]) ^ static_cast<std::uint8_t>(rx[i]);
+    errors += std::size_t((diff & 0b01) != 0) + std::size_t((diff & 0b10) != 0);
+  }
+  errors += 2 * (std::max(tx.size(), rx.size()) - common);
+  return errors;
+}
+
+std::string to_string(OaqfmSymbol s) {
+  switch (s) {
+    case OaqfmSymbol::k00: return "00";
+    case OaqfmSymbol::k01: return "01";
+    case OaqfmSymbol::k10: return "10";
+    case OaqfmSymbol::k11: return "11";
+  }
+  return "??";
+}
+
+}  // namespace milback::core

@@ -1,0 +1,54 @@
+#include "milback/core/throughput.hpp"
+
+#include <algorithm>
+
+namespace milback::core {
+
+PacketEfficiency packet_efficiency(const PacketConfig& config, LinkDirection direction,
+                                   double bit_rate_bps, std::size_t payload_symbols) {
+  PacketEfficiency e;
+  PacketConfig cfg = config;
+  cfg.payload_symbols = payload_symbols;
+  const double symbol_rate = bit_rate_bps / 2.0;  // standard OAQFM
+  const auto t = compute_timing(cfg, direction, symbol_rate);
+  e.preamble_s = t.field1_s + t.field2_s;
+  e.payload_s = t.payload_s;
+  e.efficiency = t.total_s > 0.0 ? t.payload_s / t.total_s : 0.0;
+  const double payload_bits = double(payload_symbols) * 2.0;
+  e.goodput_bps = t.total_s > 0.0 ? payload_bits / t.total_s : 0.0;
+  e.packets_per_second = t.total_s > 0.0 ? 1.0 / t.total_s : 0.0;
+  return e;
+}
+
+std::size_t payload_for_efficiency(const PacketConfig& config, LinkDirection direction,
+                                   double bit_rate_bps, double target_efficiency,
+                                   std::size_t max_symbols) {
+  if (target_efficiency >= 1.0) return 0;
+  // efficiency = P / (P + O) >= target  =>  P >= O * target / (1 - target),
+  // with P the payload time and O the preamble time.
+  const auto base = packet_efficiency(config, direction, bit_rate_bps, 0);
+  const double overhead_s = base.preamble_s;
+  const double needed_payload_s =
+      overhead_s * target_efficiency / (1.0 - target_efficiency);
+  const double symbol_rate = bit_rate_bps / 2.0;
+  const auto symbols = std::size_t(needed_payload_s * symbol_rate) + 1;
+  return symbols <= max_symbols ? symbols : 0;
+}
+
+double max_tracking_interval_s(double speed_mps, double max_drift_m) noexcept {
+  if (speed_mps <= 0.0) return 1e9;  // static node: effectively never
+  return std::max(max_drift_m, 0.0) / speed_mps;
+}
+
+double localization_overhead(const PacketConfig& config, LinkDirection direction,
+                             double bit_rate_bps, std::size_t payload_symbols,
+                             double speed_mps, double max_drift_m) {
+  const auto e = packet_efficiency(config, direction, bit_rate_bps, payload_symbols);
+  const double interval = max_tracking_interval_s(speed_mps, max_drift_m);
+  if (interval >= 1e9) return 0.0;
+  // One full preamble (localization) per interval, the rest payload packets.
+  const double loc_time_per_interval = e.preamble_s;
+  return std::min(1.0, loc_time_per_interval / std::max(interval, loc_time_per_interval));
+}
+
+}  // namespace milback::core

@@ -1,0 +1,48 @@
+// Protocol efficiency analysis: how much of a MilBack packet's air time is
+// preamble (Field 1 + Field 2) versus payload, what goodput that leaves at
+// each rate, and the payload length / re-localization cadence trades the
+// Section-7 protocol exposes ("the length of the payload ... can be adjusted
+// based on the application and data-rate requirements").
+#pragma once
+
+#include <cstddef>
+
+#include "milback/core/packet.hpp"
+
+namespace milback::core {
+
+/// Air-time efficiency of one packet configuration.
+struct PacketEfficiency {
+  double preamble_s = 0.0;       ///< Field 1 + Field 2 duration.
+  double payload_s = 0.0;        ///< Payload duration.
+  double efficiency = 0.0;       ///< payload / total air time.
+  double goodput_bps = 0.0;      ///< payload bits / total air time (BER-free).
+  double packets_per_second = 0.0;  ///< Back-to-back packet rate.
+};
+
+/// Computes air-time efficiency for a packet of `payload_symbols` at
+/// `bit_rate_bps` in `direction` (bits/symbol from the link direction's
+/// standard OAQFM).
+PacketEfficiency packet_efficiency(const PacketConfig& config, LinkDirection direction,
+                                   double bit_rate_bps, std::size_t payload_symbols);
+
+/// Smallest payload length (symbols) at which the protocol reaches the
+/// target efficiency; 0 if unreachable below `max_symbols`.
+std::size_t payload_for_efficiency(const PacketConfig& config, LinkDirection direction,
+                                   double bit_rate_bps, double target_efficiency,
+                                   std::size_t max_symbols = 1u << 20);
+
+/// Tracking cadence analysis: a node moving at `speed_mps` drifts out of the
+/// AP beam / range gate if not re-localized. Returns the maximum data-only
+/// streak (seconds) between localization packets such that position
+/// uncertainty stays below `max_drift_m`.
+double max_tracking_interval_s(double speed_mps, double max_drift_m) noexcept;
+
+/// Fraction of air time spent on localization when a moving node is
+/// re-localized every max_tracking_interval and otherwise streams payload
+/// packets of the given configuration.
+double localization_overhead(const PacketConfig& config, LinkDirection direction,
+                             double bit_rate_bps, std::size_t payload_symbols,
+                             double speed_mps, double max_drift_m);
+
+}  // namespace milback::core

@@ -1,0 +1,97 @@
+#include "milback/dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace milback::dsp {
+
+namespace {
+
+// Bit-reversal permutation, then iterative Cooley-Tukey butterflies.
+// `sign` is -1 for the forward transform, +1 for the inverse.
+void transform(std::vector<cplx>& x, int sign) {
+  const std::size_t n = x.size();
+  if (n == 0) throw std::invalid_argument("fft: empty input");
+  if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
+
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = double(sign) * 2.0 * std::numbers::pi / double(len);
+    const cplx wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = x[i + k];
+        const cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(std::vector<cplx>& x) { transform(x, -1); }
+
+void ifft_inplace(std::vector<cplx>& x) {
+  transform(x, +1);
+  const double inv = 1.0 / double(x.size());
+  for (auto& v : x) v *= inv;
+}
+
+std::vector<cplx> fft(std::vector<cplx> x) {
+  x.resize(next_pow2(x.size()), cplx{0.0, 0.0});
+  fft_inplace(x);
+  return x;
+}
+
+std::vector<cplx> ifft(std::vector<cplx> x) {
+  ifft_inplace(x);
+  return x;
+}
+
+std::vector<cplx> fft_real(const std::vector<double>& x) {
+  std::vector<cplx> cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = cplx{x[i], 0.0};
+  return fft(std::move(cx));
+}
+
+std::vector<double> power_spectrum(const std::vector<cplx>& spectrum) {
+  std::vector<double> out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = std::norm(spectrum[i]);
+  return out;
+}
+
+std::vector<double> magnitude_spectrum(const std::vector<cplx>& spectrum) {
+  std::vector<double> out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = std::abs(spectrum[i]);
+  return out;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double fs) noexcept {
+  const double f = double(k) * fs / double(n);
+  return (k <= n / 2) ? f : f - fs;
+}
+
+double fractional_bin_frequency(double bin, std::size_t n, double fs) noexcept {
+  return bin * fs / double(n);
+}
+
+}  // namespace milback::dsp

@@ -1,0 +1,60 @@
+// Radix-2 iterative FFT (own implementation — no external DSP dependency).
+//
+// The AP's localization pipeline takes per-chirp FFTs of the dechirped beat
+// signal (Section 5 of the paper); an IFFT is used by the orientation-at-AP
+// profiler to go back to the "reflection power vs chirp frequency" domain.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace milback::dsp {
+
+using cplx = std::complex<double>;
+
+/// Smallest power of two >= n (n >= 1). next_pow2(0) == 1.
+std::size_t next_pow2(std::size_t n) noexcept;
+
+/// True if n is a nonzero power of two.
+bool is_pow2(std::size_t n) noexcept;
+
+/// In-place forward FFT. `x.size()` must be a power of two (throws
+/// std::invalid_argument otherwise). No normalization.
+void fft_inplace(std::vector<cplx>& x);
+
+/// In-place inverse FFT with 1/N normalization. Power-of-two size required.
+void ifft_inplace(std::vector<cplx>& x);
+
+/// Forward FFT of a copy, zero-padded to the next power of two if needed.
+std::vector<cplx> fft(std::vector<cplx> x);
+
+/// Inverse FFT of a copy (size must already be a power of two).
+std::vector<cplx> ifft(std::vector<cplx> x);
+
+/// FFT of a real signal (returned as full complex spectrum, padded to pow2).
+std::vector<cplx> fft_real(const std::vector<double>& x);
+
+/// |X[k]|^2 for each bin.
+std::vector<double> power_spectrum(const std::vector<cplx>& spectrum);
+
+/// |X[k]| for each bin.
+std::vector<double> magnitude_spectrum(const std::vector<cplx>& spectrum);
+
+/// Rotates the spectrum so the DC bin sits at the center (like fftshift).
+template <typename T>
+std::vector<T> fftshift(const std::vector<T>& x) {
+  std::vector<T> out(x.size());
+  const std::size_t half = (x.size() + 1) / 2;
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[(i + half) % x.size()];
+  return out;
+}
+
+/// Frequency (Hz) of FFT bin `k` for a length-`n` transform at sample rate
+/// `fs`; bins above n/2 map to negative frequencies.
+double bin_frequency(std::size_t k, std::size_t n, double fs) noexcept;
+
+/// Fractional bin index -> frequency in Hz (non-negative side only).
+double fractional_bin_frequency(double bin, std::size_t n, double fs) noexcept;
+
+}  // namespace milback::dsp

@@ -1,0 +1,41 @@
+#include "milback/dsp/goertzel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace milback::dsp {
+
+std::complex<double> goertzel(const std::vector<double>& x, double f_hz, double fs) {
+  if (x.empty()) return {0.0, 0.0};
+  const double omega = 2.0 * std::numbers::pi * f_hz / fs;
+  const double coeff = 2.0 * std::cos(omega);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+  for (double v : x) {
+    s0 = v + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  // Standard Goertzel finalization: X = s1 - s2 * e^{-j omega}.
+  return {s1 - s2 * std::cos(omega), s2 * std::sin(omega)};
+}
+
+std::complex<double> goertzel(const std::vector<std::complex<double>>& x, double f_hz,
+                              double fs) {
+  const double omega = 2.0 * std::numbers::pi * f_hz / fs;
+  std::complex<double> acc{0.0, 0.0};
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double ph = -omega * double(n);
+    acc += x[n] * std::complex<double>{std::cos(ph), std::sin(ph)};
+  }
+  return acc;
+}
+
+double tone_power(const std::vector<double>& x, double f_hz, double fs) {
+  if (x.empty()) return 0.0;
+  const auto bin = goertzel(x, f_hz, fs);
+  const double n = double(x.size());
+  const double amp = 2.0 * std::abs(bin) / n;  // unit cosine -> amp ~ 1
+  return amp * amp;                            // report |a|^2 so unit cosine -> 1
+}
+
+}  // namespace milback::dsp

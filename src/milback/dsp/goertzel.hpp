@@ -1,0 +1,25 @@
+// Goertzel single-bin DFT. The AP's uplink receiver measures the node's
+// baseband tone power at the 10 kHz switching frequency (and the symbol-rate
+// harmonics) without paying for a full FFT per symbol.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace milback::dsp {
+
+/// Computes the DFT of `x` at the single frequency `f_hz` (sample rate `fs`).
+/// Returns the complex bin value with the same scaling as an unnormalized DFT.
+std::complex<double> goertzel(const std::vector<double>& x, double f_hz, double fs);
+
+/// Complex-input Goertzel (direct correlation with exp(-j2πft)).
+std::complex<double> goertzel(const std::vector<std::complex<double>>& x, double f_hz,
+                              double fs);
+
+/// Power at frequency `f_hz` normalized so a unit-amplitude cosine at that
+/// exact frequency yields ~1.0 (i.e. |bin|^2 scaled by (2/N)^2, folding the
+/// negative-frequency image back in).
+double tone_power(const std::vector<double>& x, double f_hz, double fs);
+
+}  // namespace milback::dsp

@@ -1,0 +1,59 @@
+#include "milback/dsp/resample.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "milback/dsp/fir.hpp"
+
+namespace milback::dsp {
+
+std::vector<double> decimate(const std::vector<double>& x, std::size_t factor) {
+  if (factor == 0) throw std::invalid_argument("decimate: factor must be >= 1");
+  if (factor == 1 || x.size() < 8) return downsample(x, factor);
+  // Anti-alias at 0.45 of the output Nyquist.
+  const double fs = 1.0;  // normalized
+  const double fc = 0.45 / double(factor) * (fs / 2.0) * 2.0;  // = 0.45/factor cycles/sample
+  const std::size_t taps = std::min<std::size_t>(101, (x.size() / 2) * 2 - 1);
+  auto h = design_lowpass(fc, fs, std::max<std::size_t>(taps, 3));
+  auto filtered = filter_same(h, x);
+  return downsample(filtered, factor);
+}
+
+std::vector<double> downsample(const std::vector<double>& x, std::size_t factor) {
+  if (factor == 0) throw std::invalid_argument("downsample: factor must be >= 1");
+  std::vector<double> y;
+  y.reserve(x.size() / factor + 1);
+  for (std::size_t i = 0; i < x.size(); i += factor) y.push_back(x[i]);
+  return y;
+}
+
+std::vector<double> resample_linear(const std::vector<double>& x, std::size_t out_len) {
+  if (out_len == 0 || x.empty()) return {};
+  if (x.size() == 1) return std::vector<double>(out_len, x[0]);
+  std::vector<double> y(out_len);
+  const double scale = double(x.size() - 1) / double(out_len > 1 ? out_len - 1 : 1);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double pos = double(i) * scale;
+    const auto lo = std::min<std::size_t>(std::size_t(pos), x.size() - 2);
+    const double frac = pos - double(lo);
+    y[i] = x[lo] * (1.0 - frac) + x[lo + 1] * frac;
+  }
+  return y;
+}
+
+std::vector<double> moving_average(const std::vector<double>& x, std::size_t window) {
+  if (window == 0) throw std::invalid_argument("moving_average: window must be >= 1");
+  std::vector<double> y(x.size());
+  const std::ptrdiff_t half = std::ptrdiff_t(window) / 2;
+  for (std::ptrdiff_t i = 0; i < std::ptrdiff_t(x.size()); ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - half);
+    const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(std::ptrdiff_t(x.size()) - 1, i + half);
+    double acc = 0.0;
+    for (std::ptrdiff_t k = lo; k <= hi; ++k) acc += x[std::size_t(k)];
+    y[std::size_t(i)] = acc / double(hi - lo + 1);
+  }
+  return y;
+}
+
+}  // namespace milback::dsp

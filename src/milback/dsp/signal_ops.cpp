@@ -1,0 +1,102 @@
+#include "milback/dsp/signal_ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace milback::dsp {
+
+double signal_power(const std::vector<double>& x) noexcept {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc / double(x.size());
+}
+
+double signal_power(const std::vector<cplx>& x) noexcept {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& v : x) acc += std::norm(v);
+  return acc / double(x.size());
+}
+
+double signal_energy(const std::vector<double>& x) noexcept {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+namespace {
+template <typename T>
+std::vector<T> binop(const std::vector<T>& a, const std::vector<T>& b, bool sub) {
+  if (a.size() != b.size()) throw std::invalid_argument("signal_ops: size mismatch");
+  std::vector<T> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = sub ? a[i] - b[i] : a[i] + b[i];
+  return out;
+}
+}  // namespace
+
+std::vector<double> add(const std::vector<double>& a, const std::vector<double>& b) {
+  return binop(a, b, false);
+}
+
+std::vector<cplx> add(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  return binop(a, b, false);
+}
+
+std::vector<cplx> subtract(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  return binop(a, b, true);
+}
+
+void scale(std::vector<double>& x, double k) noexcept {
+  for (auto& v : x) v *= k;
+}
+
+void scale(std::vector<cplx>& x, double k) noexcept {
+  for (auto& v : x) v *= k;
+}
+
+std::vector<double> abs(const std::vector<cplx>& x) {
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::abs(x[i]);
+  return out;
+}
+
+std::vector<double> abs2(const std::vector<cplx>& x) {
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::norm(x[i]);
+  return out;
+}
+
+std::vector<double> arg(const std::vector<cplx>& x) {
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::arg(x[i]);
+  return out;
+}
+
+double snr_db(double signal_power_w, double noise_power_w) noexcept {
+  if (noise_power_w <= 0.0) return 300.0;  // effectively noiseless
+  if (signal_power_w <= 0.0) return -300.0;
+  return 10.0 * std::log10(signal_power_w / noise_power_w);
+}
+
+int correlation_lag(const std::vector<double>& a, const std::vector<double>& b, int max_lag) {
+  if (a.size() != b.size()) throw std::invalid_argument("correlation_lag: size mismatch");
+  if (a.empty()) return 0;
+  double best = -1.0;
+  int best_lag = 0;
+  const int n = int(a.size());
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const int j = i + lag;
+      if (j >= 0 && j < n) acc += a[std::size_t(i)] * b[std::size_t(j)];
+    }
+    if (acc > best) {
+      best = acc;
+      best_lag = lag;
+    }
+  }
+  return best_lag;
+}
+
+}  // namespace milback::dsp

@@ -1,0 +1,52 @@
+// Elementwise and reduction helpers on real/complex sample vectors.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace milback::dsp {
+
+using cplx = std::complex<double>;
+
+/// Mean of x[n]^2 (average power of a real signal).
+double signal_power(const std::vector<double>& x) noexcept;
+
+/// Mean of |x[n]|^2 (average power of a complex signal).
+double signal_power(const std::vector<cplx>& x) noexcept;
+
+/// Sum of x[n]^2 (signal energy).
+double signal_energy(const std::vector<double>& x) noexcept;
+
+/// Elementwise a + b (sizes must match; throws std::invalid_argument).
+std::vector<double> add(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Elementwise complex a + b.
+std::vector<cplx> add(const std::vector<cplx>& a, const std::vector<cplx>& b);
+
+/// Elementwise a - b.
+std::vector<cplx> subtract(const std::vector<cplx>& a, const std::vector<cplx>& b);
+
+/// Scales in place.
+void scale(std::vector<double>& x, double k) noexcept;
+/// Scales a complex vector in place.
+void scale(std::vector<cplx>& x, double k) noexcept;
+
+/// Magnitude of each complex sample.
+std::vector<double> abs(const std::vector<cplx>& x);
+
+/// Squared magnitude of each complex sample.
+std::vector<double> abs2(const std::vector<cplx>& x);
+
+/// Phase (radians) of each complex sample.
+std::vector<double> arg(const std::vector<cplx>& x);
+
+/// SNR estimate in dB given separately known signal and noise powers.
+double snr_db(double signal_power_w, double noise_power_w) noexcept;
+
+/// Normalized cross-correlation peak lag between equal-length sequences
+/// searched over [-max_lag, max_lag]. Positive lag means b is delayed
+/// relative to a.
+int correlation_lag(const std::vector<double>& a, const std::vector<double>& b, int max_lag);
+
+}  // namespace milback::dsp

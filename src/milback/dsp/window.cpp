@@ -1,0 +1,64 @@
+#include "milback/dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace milback::dsp {
+
+namespace {
+constexpr double kTau = 2.0 * std::numbers::pi;
+}
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double denom = double(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = double(i) / denom;
+    switch (type) {
+      case WindowType::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTau * t);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTau * t);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTau * t) + 0.08 * std::cos(2.0 * kTau * t);
+        break;
+      case WindowType::kBlackmanHarris:
+        w[i] = 0.35875 - 0.48829 * std::cos(kTau * t) + 0.14128 * std::cos(2.0 * kTau * t) -
+               0.01168 * std::cos(3.0 * kTau * t);
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(std::vector<double>& x, const std::vector<double>& w) {
+  if (x.size() != w.size()) throw std::invalid_argument("apply_window: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= w[i];
+}
+
+double coherent_gain(const std::vector<double>& w) noexcept {
+  if (w.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  return sum / double(w.size());
+}
+
+double enbw_bins(const std::vector<double>& w) noexcept {
+  if (w.empty()) return 0.0;
+  double sum = 0.0, sum2 = 0.0;
+  for (double v : w) {
+    sum += v;
+    sum2 += v * v;
+  }
+  if (sum == 0.0) return 0.0;
+  return double(w.size()) * sum2 / (sum * sum);
+}
+
+}  // namespace milback::dsp

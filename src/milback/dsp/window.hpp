@@ -1,0 +1,33 @@
+// Window functions for spectral analysis. FMCW range FFTs use a Hann window
+// to suppress sidelobes of strong clutter that would otherwise bury the
+// node's weak backscatter return.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace milback::dsp {
+
+/// Supported window shapes.
+enum class WindowType {
+  kRectangular,  ///< All-ones (no windowing).
+  kHann,         ///< Raised cosine; -31 dB first sidelobe.
+  kHamming,      ///< -43 dB first sidelobe, non-zero ends.
+  kBlackman,     ///< -58 dB first sidelobe, wider mainlobe.
+  kBlackmanHarris,  ///< 4-term, -92 dB sidelobes, widest mainlobe.
+};
+
+/// Generates the length-`n` window. n == 0 yields an empty vector.
+std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Multiplies `x` elementwise by the window (sizes must match; throws
+/// std::invalid_argument otherwise).
+void apply_window(std::vector<double>& x, const std::vector<double>& w);
+
+/// Coherent gain of a window: sum(w)/n. Used to renormalize peak amplitudes.
+double coherent_gain(const std::vector<double>& w) noexcept;
+
+/// Equivalent noise bandwidth in bins: n*sum(w^2)/sum(w)^2.
+double enbw_bins(const std::vector<double>& w) noexcept;
+
+}  // namespace milback::dsp

@@ -1,0 +1,122 @@
+#include "milback/node/downlink_demodulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "milback/node/mcu.hpp"
+#include "milback/util/stats.hpp"
+
+namespace milback::node {
+
+namespace {
+
+// Slice one port's waveform at the configured point of each symbol.
+std::vector<double> slice_symbols(const std::vector<double>& v, double fs,
+                                  const DownlinkDemodConfig& config) {
+  const double samples_per_symbol = fs / config.symbol_rate_hz;
+  const auto n_symbols = std::size_t(double(v.size()) / samples_per_symbol);
+  std::vector<double> out;
+  out.reserve(n_symbols);
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    const auto idx = std::min(
+        std::size_t((double(s) + config.sample_point) * samples_per_symbol),
+        v.size() - 1);
+    out.push_back(v[idx]);
+  }
+  return out;
+}
+
+// A port with almost no swing carries no tone at all; its threshold would
+// otherwise sit in the noise and decode random bits.
+bool has_signal(const std::vector<double>& samples, double full_range) {
+  if (samples.empty()) return false;
+  const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  return (*hi - *lo) > 0.02 * full_range || *hi > 0.05 * full_range;
+}
+
+// Robust slicing threshold: midpoint of the 10th and 90th percentiles.
+// A min/max midpoint drifts with noise outliers (a 4-sigma excursion in a
+// long burst pulls the threshold into the signal cloud); percentiles pin it
+// to the two symbol levels.
+double robust_threshold(const std::vector<double>& samples) {
+  return 0.5 * (milback::percentile(samples, 10.0) +
+                milback::percentile(samples, 90.0));
+}
+
+}  // namespace
+
+DownlinkDecision demodulate_downlink(const std::vector<double>& port_a_v,
+                                     const std::vector<double>& port_b_v, double fs,
+                                     const DownlinkDemodConfig& config) {
+  DownlinkDecision d;
+  d.samples_a = slice_symbols(port_a_v, fs, config);
+  d.samples_b = slice_symbols(port_b_v, fs, config);
+  const std::size_t n = std::min(d.samples_a.size(), d.samples_b.size());
+
+  const double range_a =
+      d.samples_a.empty() ? 0.0
+                          : *std::max_element(d.samples_a.begin(), d.samples_a.end());
+  const double range_b =
+      d.samples_b.empty() ? 0.0
+                          : *std::max_element(d.samples_b.begin(), d.samples_b.end());
+  const double full_range = std::max(range_a, range_b);
+
+  const bool live_a = has_signal(d.samples_a, full_range);
+  const bool live_b = has_signal(d.samples_b, full_range);
+  d.threshold_a = live_a ? robust_threshold(d.samples_a) : 1e300;
+  d.threshold_b = live_b ? robust_threshold(d.samples_b) : 1e300;
+
+  d.symbols.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool a_present = d.samples_a[i] > d.threshold_a;
+    const bool b_present = d.samples_b[i] > d.threshold_b;
+    d.symbols.push_back(core::downlink_decide(a_present, b_present));
+  }
+  return d;
+}
+
+std::vector<bool> demodulate_downlink_ook(const std::vector<double>& port_a_v,
+                                          const std::vector<double>& port_b_v, double fs,
+                                          const DownlinkDemodConfig& config) {
+  // Normal incidence: both ports see the same tone; pick the stronger trace.
+  const double max_a =
+      port_a_v.empty() ? 0.0 : *std::max_element(port_a_v.begin(), port_a_v.end());
+  const double max_b =
+      port_b_v.empty() ? 0.0 : *std::max_element(port_b_v.begin(), port_b_v.end());
+  const auto& v = max_a >= max_b ? port_a_v : port_b_v;
+
+  auto samples = slice_symbols(v, fs, config);
+  const double threshold = robust_threshold(samples);
+  std::vector<bool> bits;
+  bits.reserve(samples.size());
+  for (double s : samples) bits.push_back(s > threshold);
+  return bits;
+}
+
+std::vector<core::DenseSymbol> demodulate_downlink_dense(
+    const std::vector<double>& port_a_v, const std::vector<double>& port_b_v, double fs,
+    const DownlinkDemodConfig& config, unsigned levels) {
+  std::vector<core::DenseSymbol> out;
+  if (!core::valid_levels(levels)) return out;
+  const auto samples_a = slice_symbols(port_a_v, fs, config);
+  const auto samples_b = slice_symbols(port_b_v, fs, config);
+  const std::size_t n = std::min(samples_a.size(), samples_b.size());
+  if (n == 0) return out;
+
+  // Full-scale estimate per port: the maximum settled sample (the burst is
+  // assumed to contain at least one full-scale level, which the link layer
+  // guarantees via its pilot/prefix).
+  const double full_a = *std::max_element(samples_a.begin(), samples_a.end());
+  const double full_b = *std::max_element(samples_b.begin(), samples_b.end());
+
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::DenseSymbol s;
+    s.level_a = core::slice_level(samples_a[i], full_a, levels);
+    s.level_b = core::slice_level(samples_b[i], full_b, levels);
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace milback::node

@@ -1,0 +1,54 @@
+// Node-side OAQFM downlink demodulation (Section 6.1/6.2 of the paper).
+//
+// Each FSA port receives only its own tone; the envelope detector output is
+// high while that tone is on. The MCU slices each symbol interval at a late
+// sampling instant (so the detector has settled) against a midpoint
+// threshold, then maps the two presence bits to a symbol. In OOK fallback
+// (normal incidence) both detectors see the same single tone and the symbol
+// carries one bit.
+#pragma once
+
+#include <vector>
+
+#include "milback/core/oaqfm.hpp"
+#include "milback/core/oaqfm_dense.hpp"
+
+namespace milback::node {
+
+/// Demodulator knobs.
+struct DownlinkDemodConfig {
+  double symbol_rate_hz = 18e6;   ///< OAQFM symbol rate (36 Mbps at 2 b/sym).
+  double sample_point = 0.75;     ///< Fraction into each symbol to slice.
+  core::ModulationMode mode = core::ModulationMode::kOaqfm;
+};
+
+/// Decision-variable trace of one demodulated stream (for debugging/tests).
+struct DownlinkDecision {
+  std::vector<core::OaqfmSymbol> symbols;  ///< Decoded symbols.
+  std::vector<double> samples_a;           ///< Slicer inputs, port A.
+  std::vector<double> samples_b;           ///< Slicer inputs, port B.
+  double threshold_a = 0.0;                ///< Threshold used, port A.
+  double threshold_b = 0.0;                ///< Threshold used, port B.
+};
+
+/// Demodulates the two detector-output waveforms (sampled at `fs`) into
+/// OAQFM symbols. The number of symbols is floor(duration * symbol_rate).
+/// Thresholds are derived per-port from the waveform midpoints; a port whose
+/// swing is negligible decodes as all-absent.
+DownlinkDecision demodulate_downlink(const std::vector<double>& port_a_v,
+                                     const std::vector<double>& port_b_v, double fs,
+                                     const DownlinkDemodConfig& config);
+
+/// OOK fallback: single shared tone, decoded from the stronger port.
+std::vector<bool> demodulate_downlink_ook(const std::vector<double>& port_a_v,
+                                          const std::vector<double>& port_b_v, double fs,
+                                          const DownlinkDemodConfig& config);
+
+/// Dense-OAQFM demodulation: per-port multi-level slicing against the
+/// observed full-scale voltage (the MCU tracks its own max). Each tone
+/// carries one of `levels` power-uniform levels; levels are Gray-coded.
+std::vector<core::DenseSymbol> demodulate_downlink_dense(
+    const std::vector<double>& port_a_v, const std::vector<double>& port_b_v, double fs,
+    const DownlinkDemodConfig& config, unsigned levels);
+
+}  // namespace milback::node

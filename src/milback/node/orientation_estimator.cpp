@@ -1,0 +1,64 @@
+#include "milback/node/orientation_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "milback/dsp/peak.hpp"
+
+namespace milback::node {
+
+std::optional<double> aligned_frequency_from_trace(
+    const std::vector<double>& envelope_v, double fs, const radar::ChirpConfig& chirp,
+    const OrientationEstimatorConfig& config) {
+  if (chirp.shape != radar::ChirpShape::kTriangular || envelope_v.size() < 8) {
+    return std::nullopt;
+  }
+  const double vmax = *std::max_element(envelope_v.begin(), envelope_v.end());
+  if (vmax <= 0.0) return std::nullopt;
+  const double threshold = vmax * config.peak_threshold_rel;
+  const auto min_sep = std::size_t(std::max(config.min_peak_separation_s * fs, 1.0));
+
+  const auto pair = dsp::two_strongest_peaks(envelope_v, threshold, min_sep);
+  if (!pair) return std::nullopt;
+  const double t1 = pair->first.index / fs;
+  const double t2 = pair->second.index / fs;
+  const double dt = t2 - t1;
+  if (dt <= 0.0 || dt > chirp.duration_s) return std::nullopt;
+
+  // Peaks sit symmetric about the chirp apex: dt = T - 2 (f* - f_min)/slope.
+  const double f_star =
+      chirp.start_frequency_hz + chirp.slope_hz_per_s() * (chirp.duration_s - dt) / 2.0;
+  if (f_star < chirp.start_frequency_hz || f_star > chirp.end_frequency_hz()) {
+    return std::nullopt;
+  }
+  return f_star;
+}
+
+std::optional<NodeOrientationEstimate> estimate_orientation_at_node(
+    const std::vector<double>& port_a_v, const std::vector<double>& port_b_v, double fs,
+    const radar::ChirpConfig& chirp, const antenna::DualPortFsa& fsa,
+    const OrientationEstimatorConfig& config) {
+  NodeOrientationEstimate est;
+
+  est.f_peak_a_hz = aligned_frequency_from_trace(port_a_v, fs, chirp, config);
+  est.f_peak_b_hz = aligned_frequency_from_trace(port_b_v, fs, chirp, config);
+  if (est.f_peak_a_hz) {
+    est.port_a_deg = fsa.beam_angle_deg(antenna::FsaPort::kA, *est.f_peak_a_hz);
+  }
+  if (est.f_peak_b_hz) {
+    est.port_b_deg = fsa.beam_angle_deg(antenna::FsaPort::kB, *est.f_peak_b_hz);
+  }
+
+  if (est.port_a_deg && est.port_b_deg) {
+    est.orientation_deg = 0.5 * (*est.port_a_deg + *est.port_b_deg);
+  } else if (est.port_a_deg) {
+    est.orientation_deg = *est.port_a_deg;
+  } else if (est.port_b_deg) {
+    est.orientation_deg = *est.port_b_deg;
+  } else {
+    return std::nullopt;
+  }
+  return est;
+}
+
+}  // namespace milback::node

@@ -1,0 +1,53 @@
+// Node-side orientation sensing (Section 5.2(b), Figure 5 of the paper).
+//
+// During Field 1 the AP transmits triangular chirps while both node ports
+// absorb. The envelope detector of each port peaks twice per chirp — once on
+// the up-leg and once on the down-leg, when the sweep crosses that port's
+// aligned frequency f*. The V-shape makes the peak separation
+//
+//     dt = T - 2 (f* - f_min) / slope
+//
+// a direct measure of f*, and the FSA scan law maps f* to orientation. The
+// MCU samples the detector outputs at 1 MS/s and averages the estimates of
+// the two ports.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "milback/antenna/fsa.hpp"
+#include "milback/radar/chirp.hpp"
+
+namespace milback::node {
+
+/// Estimator knobs.
+struct OrientationEstimatorConfig {
+  double peak_threshold_rel = 0.35;   ///< Peaks must exceed this fraction of
+                                      ///< the trace maximum.
+  double min_peak_separation_s = 2e-6;  ///< Reject double-detections.
+};
+
+/// Result of one orientation measurement at the node.
+struct NodeOrientationEstimate {
+  double orientation_deg = 0.0;            ///< Final (two-port averaged) estimate.
+  std::optional<double> port_a_deg;        ///< Port-A-only estimate.
+  std::optional<double> port_b_deg;        ///< Port-B-only estimate.
+  std::optional<double> f_peak_a_hz;       ///< Aligned frequency seen by port A.
+  std::optional<double> f_peak_b_hz;       ///< Aligned frequency seen by port B.
+};
+
+/// Recovers the aligned frequency f* from one port's envelope trace
+/// (sampled at `fs`) under a triangular chirp. std::nullopt if the two
+/// peaks cannot be found.
+std::optional<double> aligned_frequency_from_trace(
+    const std::vector<double>& envelope_v, double fs, const radar::ChirpConfig& chirp,
+    const OrientationEstimatorConfig& config = {});
+
+/// Full node-side estimate from both ports' MCU traces. Returns std::nullopt
+/// when neither port yields a usable pair of peaks.
+std::optional<NodeOrientationEstimate> estimate_orientation_at_node(
+    const std::vector<double>& port_a_v, const std::vector<double>& port_b_v, double fs,
+    const radar::ChirpConfig& chirp, const antenna::DualPortFsa& fsa,
+    const OrientationEstimatorConfig& config = {});
+
+}  // namespace milback::node

@@ -1,0 +1,43 @@
+#include "milback/radar/background_subtraction.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace milback::radar {
+
+SubtractionResult background_subtract(
+    const std::vector<std::vector<std::complex<double>>>& chirp_spectra) {
+  if (chirp_spectra.size() < 2) {
+    throw std::invalid_argument("background_subtract: need >= 2 chirp spectra");
+  }
+  const std::size_t n = chirp_spectra.front().size();
+  for (const auto& s : chirp_spectra) {
+    if (s.size() != n) {
+      throw std::invalid_argument("background_subtract: spectra size mismatch");
+    }
+  }
+
+  SubtractionResult out;
+  out.detection_magnitude.assign(n, 0.0);
+  out.pairs = chirp_spectra.size() - 1;
+  for (std::size_t p = 0; p + 1 < chirp_spectra.size(); ++p) {
+    std::vector<std::complex<double>> diff(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      diff[k] = chirp_spectra[p + 1][k] - chirp_spectra[p][k];
+      out.detection_magnitude[k] += std::abs(diff[k]);
+    }
+    if (p == 0) out.first_difference = std::move(diff);
+  }
+  const double inv = 1.0 / double(out.pairs);
+  for (auto& v : out.detection_magnitude) v *= inv;
+  return out;
+}
+
+SubtractionResult background_subtract(const std::vector<RangeSpectrum>& spectra) {
+  std::vector<std::vector<std::complex<double>>> raw;
+  raw.reserve(spectra.size());
+  for (const auto& s : spectra) raw.push_back(s.bins);
+  return background_subtract(raw);
+}
+
+}  // namespace milback::radar

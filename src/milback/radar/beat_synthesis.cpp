@@ -1,0 +1,50 @@
+#include "milback/radar/beat_synthesis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "milback/util/units.hpp"
+
+namespace milback::radar {
+
+double dechirp_phase_rad(const ChirpConfig& chirp, double tau_s) noexcept {
+  const double s = chirp.slope_hz_per_s();
+  return 2.0 * kPi * chirp.start_frequency_hz * tau_s - kPi * s * tau_s * tau_s;
+}
+
+std::size_t samples_per_chirp(const ChirpConfig& chirp, double fs) noexcept {
+  return std::size_t(chirp.duration_s * fs);
+}
+
+std::vector<cplx> synthesize_beat(const std::vector<PathContribution>& paths,
+                                  const ChirpConfig& chirp, double fs,
+                                  std::size_t n_samples, double noise_power_w,
+                                  milback::Rng& rng) {
+  std::vector<cplx> beat(n_samples, cplx{0.0, 0.0});
+  const double slope = chirp.slope_hz_per_s();
+  for (const auto& p : paths) {
+    if (!p.envelope.empty() && p.envelope.size() != n_samples) {
+      throw std::invalid_argument("synthesize_beat: envelope length mismatch");
+    }
+    const double f_beat = slope * p.delay_s;
+    const double phi0 = dechirp_phase_rad(chirp, p.delay_s) + p.extra_phase_rad;
+    for (std::size_t i = 0; i < n_samples; ++i) {
+      const double t = double(i) / fs;
+      double f_inst = f_beat;
+      // Triangular chirps flip the beat sign on the down-leg; handled by
+      // evaluating against the actual sweep direction at time t.
+      if (chirp.shape == ChirpShape::kTriangular && t > chirp.duration_s / 2.0) {
+        f_inst = -f_beat;
+      }
+      const double ph = 2.0 * kPi * f_inst * t + phi0;
+      const double a = p.amplitude * (p.envelope.empty() ? 1.0 : p.envelope[i]);
+      beat[i] += a * cplx{std::cos(ph), std::sin(ph)};
+    }
+  }
+  if (noise_power_w > 0.0) {
+    for (auto& v : beat) v += rng.complex_gaussian(noise_power_w);
+  }
+  return beat;
+}
+
+}  // namespace milback::radar

@@ -1,0 +1,48 @@
+// Dechirped (beat) signal synthesis.
+//
+// Rather than generating 28 GHz waveforms, the simulation produces the AP
+// mixer output directly: a reflector with round-trip delay tau under a
+// linear sweep of slope S yields, after mixing with the transmitted chirp,
+// a complex exponential at beat frequency S*tau with starting phase
+// 2*pi*f0*tau - pi*S*tau^2 (the exact stationary-phase dechirp result).
+// This is standard FMCW simulation practice and is what the paper's scope
+// captures after the mixer + BPF.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "milback/radar/chirp.hpp"
+#include "milback/util/rng.hpp"
+
+namespace milback::radar {
+
+using cplx = std::complex<double>;
+
+/// One reflector's contribution to a chirp's beat signal.
+struct PathContribution {
+  double delay_s = 0.0;          ///< Round-trip delay.
+  double amplitude = 0.0;        ///< RMS amplitude (sqrt of received power [W]).
+  double extra_phase_rad = 0.0;  ///< AoA / calibration phase on top of dechirp phase.
+  /// Optional per-sample amplitude envelope (e.g. the FSA gain sweeping
+  /// through its beam as the chirp crosses the aligned frequency). Empty
+  /// means constant amplitude. Must match the sample count if non-empty.
+  std::vector<double> envelope;
+};
+
+/// Synthesizes the complex beat signal of one chirp at sample rate `fs` with
+/// `n_samples` samples. `noise_power_w` adds complex AWGN (0 disables).
+/// Throws std::invalid_argument if an envelope length mismatches n_samples.
+std::vector<cplx> synthesize_beat(const std::vector<PathContribution>& paths,
+                                  const ChirpConfig& chirp, double fs,
+                                  std::size_t n_samples, double noise_power_w,
+                                  milback::Rng& rng);
+
+/// Phase of the dechirp exponential at t = 0 for delay tau under `chirp`.
+double dechirp_phase_rad(const ChirpConfig& chirp, double tau_s) noexcept;
+
+/// Number of beat samples for a full chirp at sample rate `fs`.
+std::size_t samples_per_chirp(const ChirpConfig& chirp, double fs) noexcept;
+
+}  // namespace milback::radar

@@ -1,0 +1,78 @@
+#include "milback/radar/cfar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "milback/dsp/peak.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::radar {
+
+std::vector<double> cfar_threshold(const std::vector<double>& statistic,
+                                   const CfarConfig& config) {
+  const std::size_t n = statistic.size();
+  std::vector<double> threshold(n, 0.0);
+  if (n == 0) return threshold;
+
+  // Prefix sums for O(1) window averages.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + statistic[i];
+  auto window_sum = [&](std::ptrdiff_t lo, std::ptrdiff_t hi) {  // [lo, hi)
+    lo = std::clamp<std::ptrdiff_t>(lo, 0, std::ptrdiff_t(n));
+    hi = std::clamp<std::ptrdiff_t>(hi, 0, std::ptrdiff_t(n));
+    if (hi <= lo) return std::pair<double, std::size_t>{0.0, 0};
+    return std::pair<double, std::size_t>{prefix[std::size_t(hi)] - prefix[std::size_t(lo)],
+                                          std::size_t(hi - lo)};
+  };
+
+  const auto g = std::ptrdiff_t(config.guard_cells);
+  const auto t = std::ptrdiff_t(config.train_cells);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = std::ptrdiff_t(i);
+    const auto [left_sum, left_n] = window_sum(c - g - t, c - g);
+    const auto [right_sum, right_n] = window_sum(c + g + 1, c + g + 1 + t);
+    const std::size_t total_n = left_n + right_n;
+    const double mean = total_n ? (left_sum + right_sum) / double(total_n) : 0.0;
+    threshold[i] = config.threshold_factor * mean;
+  }
+  return threshold;
+}
+
+std::vector<RangeDetection> cfar_detect(const SubtractionResult& sub,
+                                        const RangeSpectrum& reference,
+                                        const CfarConfig& config,
+                                        std::size_t max_detections) {
+  std::vector<RangeDetection> out;
+  const auto& stat = sub.detection_magnitude;
+  if (stat.size() < 8) return out;
+
+  const std::size_t usable = std::min(stat.size(), reference.bins.size()) / 2;
+  const auto threshold = cfar_threshold(stat, config);
+
+  const auto lo_bin = std::size_t(
+      std::clamp(reference.range_to_bin(config.min_range_m), 0.0, double(usable - 1)));
+  const auto hi_bin = std::size_t(
+      std::clamp(reference.range_to_bin(config.max_range_m), 0.0, double(usable - 1)));
+
+  for (std::size_t k = std::max<std::size_t>(lo_bin, 1); k + 1 < hi_bin; ++k) {
+    const bool local_max = stat[k] > stat[k - 1] && stat[k] >= stat[k + 1];
+    if (!local_max || stat[k] <= threshold[k]) continue;
+    const auto peak = dsp::interpolate_peak(stat, k);
+    RangeDetection det;
+    det.bin = peak.index;
+    det.range_m = reference.bin_to_range_m(det.bin);
+    det.magnitude = peak.value;
+    det.snr_db = lin2db(std::max(stat[k] / std::max(threshold[k] /
+                                                        config.threshold_factor,
+                                                    1e-30),
+                                 1e-12));
+    out.push_back(det);
+  }
+  std::sort(out.begin(), out.end(), [](const RangeDetection& a, const RangeDetection& b) {
+    return a.magnitude > b.magnitude;
+  });
+  if (out.size() > max_detections) out.resize(max_detections);
+  return out;
+}
+
+}  // namespace milback::radar

@@ -1,0 +1,64 @@
+#include "milback/radar/range_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "milback/dsp/peak.hpp"
+#include "milback/util/stats.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::radar {
+
+namespace {
+
+// Restrict the statistic to the configured range gate; returns (lo, hi) bins.
+std::pair<std::size_t, std::size_t> range_gate(const SubtractionResult& sub,
+                                               const RangeSpectrum& reference,
+                                               const RangeEstimatorConfig& config) {
+  const std::size_t n_usable = std::min(sub.detection_magnitude.size(),
+                                        reference.bins.size()) /
+                               2;
+  auto clamp_bin = [&](double r) {
+    return std::size_t(std::clamp(reference.range_to_bin(r), 0.0, double(n_usable - 1)));
+  };
+  return {clamp_bin(config.min_range_m), clamp_bin(config.max_range_m)};
+}
+
+}  // namespace
+
+std::optional<RangeDetection> estimate_range(const SubtractionResult& sub,
+                                             const RangeSpectrum& reference,
+                                             const RangeEstimatorConfig& config) {
+  auto all = detect_all(sub, reference, config, 1);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+std::vector<RangeDetection> detect_all(const SubtractionResult& sub,
+                                       const RangeSpectrum& reference,
+                                       const RangeEstimatorConfig& config,
+                                       std::size_t max_detections) {
+  std::vector<RangeDetection> out;
+  if (sub.detection_magnitude.empty()) return out;
+  const auto [lo, hi] = range_gate(sub, reference, config);
+  if (hi <= lo + 2) return out;
+
+  std::vector<double> gated(sub.detection_magnitude.begin() + std::ptrdiff_t(lo),
+                            sub.detection_magnitude.begin() + std::ptrdiff_t(hi));
+  const double floor = std::max(milback::median(gated), 1e-30);
+  const double threshold = floor * config.detection_threshold_over_median;
+
+  auto peaks = dsp::find_peaks(gated, threshold, 3);
+  for (const auto& p : peaks) {
+    if (out.size() >= max_detections) break;
+    RangeDetection det;
+    det.bin = p.index + double(lo);
+    det.range_m = reference.bin_to_range_m(det.bin);
+    det.magnitude = p.value;
+    det.snr_db = lin2db(std::max(p.value / floor, 1e-12));
+    out.push_back(det);
+  }
+  return out;
+}
+
+}  // namespace milback::radar

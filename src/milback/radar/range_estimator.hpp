@@ -1,0 +1,42 @@
+// Range estimation from the background-subtracted detection spectrum:
+// peak search + parabolic interpolation + beat-frequency-to-range mapping.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "milback/radar/background_subtraction.hpp"
+#include "milback/radar/range_fft.hpp"
+
+namespace milback::radar {
+
+/// Range estimator knobs.
+struct RangeEstimatorConfig {
+  double min_range_m = 0.3;   ///< Ignore bins below this (TX leakage region).
+  double max_range_m = 20.0;  ///< Ignore bins beyond the deployment scale.
+  double detection_threshold_over_median = 4.0;  ///< Peak must exceed
+                                                 ///< median(stat) by this factor.
+};
+
+/// A detected target.
+struct RangeDetection {
+  double range_m = 0.0;        ///< Interpolated range.
+  double bin = 0.0;            ///< Fractional FFT bin.
+  double magnitude = 0.0;      ///< Detection-statistic height.
+  double snr_db = 0.0;         ///< Peak over median floor.
+};
+
+/// Finds the strongest modulated return in the subtraction statistic.
+/// `reference` supplies the bin <-> range mapping (fs and slope). Returns
+/// std::nullopt when nothing exceeds the detection threshold.
+std::optional<RangeDetection> estimate_range(const SubtractionResult& sub,
+                                             const RangeSpectrum& reference,
+                                             const RangeEstimatorConfig& config = {});
+
+/// All detections above threshold, strongest first (multi-node support).
+std::vector<RangeDetection> detect_all(const SubtractionResult& sub,
+                                       const RangeSpectrum& reference,
+                                       const RangeEstimatorConfig& config = {},
+                                       std::size_t max_detections = 8);
+
+}  // namespace milback::radar

@@ -1,0 +1,37 @@
+#include "milback/radar/range_fft.hpp"
+
+#include "milback/dsp/fft.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::radar {
+
+double RangeSpectrum::bin_to_range_m(double k) const noexcept {
+  const double f_beat = k * fs / double(bins.size());
+  return f_beat * kSpeedOfLight / (2.0 * slope_hz_per_s);
+}
+
+double RangeSpectrum::range_to_bin(double r) const noexcept {
+  const double f_beat = 2.0 * r * slope_hz_per_s / kSpeedOfLight;
+  return f_beat * double(bins.size()) / fs;
+}
+
+RangeSpectrum range_fft(const std::vector<std::complex<double>>& beat, double fs,
+                        const ChirpConfig& chirp, const RangeFftConfig& config) {
+  RangeSpectrum out;
+  out.fs = fs;
+  out.slope_hz_per_s = chirp.slope_hz_per_s();
+
+  const auto w = dsp::make_window(config.window, beat.size());
+  const double cg = dsp::coherent_gain(w);
+  std::vector<std::complex<double>> x(beat.size());
+  for (std::size_t i = 0; i < beat.size(); ++i) {
+    x[i] = beat[i] * (cg > 0.0 ? w[i] / cg : w[i]);  // renormalize peak amplitude
+  }
+  const std::size_t n =
+      config.fft_size ? config.fft_size : dsp::next_pow2(beat.size());
+  x.resize(std::max(n, dsp::next_pow2(beat.size())), {0.0, 0.0});
+  out.bins = dsp::fft(std::move(x));
+  return out;
+}
+
+}  // namespace milback::radar

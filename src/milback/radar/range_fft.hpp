@@ -1,0 +1,40 @@
+// Range FFT: windowed FFT of a chirp's beat signal plus the bin <-> range
+// mapping for the configured sweep.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "milback/dsp/window.hpp"
+#include "milback/radar/chirp.hpp"
+
+namespace milback::radar {
+
+/// Range-FFT processing parameters.
+struct RangeFftConfig {
+  dsp::WindowType window = dsp::WindowType::kHann;  ///< Pre-FFT window.
+  std::size_t fft_size = 0;  ///< 0 = next power of two of the input length.
+};
+
+/// Result of one range FFT.
+struct RangeSpectrum {
+  std::vector<std::complex<double>> bins;  ///< Complex spectrum (positive side usable).
+  double fs = 0.0;                         ///< Beat-signal sample rate.
+  double slope_hz_per_s = 0.0;             ///< Chirp slope used for ranging.
+
+  /// Range [m] corresponding to (fractional) bin `k`.
+  double bin_to_range_m(double k) const noexcept;
+
+  /// Fractional bin corresponding to range `r` [m].
+  double range_to_bin(double r) const noexcept;
+
+  /// Number of usable (positive-frequency) bins.
+  std::size_t usable_bins() const noexcept { return bins.size() / 2; }
+};
+
+/// Computes the windowed range FFT of one chirp's beat signal.
+RangeSpectrum range_fft(const std::vector<std::complex<double>>& beat, double fs,
+                        const ChirpConfig& chirp, const RangeFftConfig& config = {});
+
+}  // namespace milback::radar

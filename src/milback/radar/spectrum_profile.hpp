@@ -1,0 +1,44 @@
+// Reflected-power-vs-frequency profiling (Section 5.2(a) of the paper).
+//
+// Because the node's FSA only reflects frequencies whose beams point at the
+// AP, the node's return inside one chirp is amplitude-modulated by the beam
+// pattern as the sweep crosses the aligned frequency. After background
+// subtraction the AP "takes an IFFT and measures the reflected signal power
+// across MilBack's mmWave FMCW band": the time axis of the recovered
+// envelope maps linearly to the instantaneous chirp frequency, so the
+// envelope peak locates the aligned frequency — and the FSA scan law turns
+// that into the node's orientation.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "milback/radar/chirp.hpp"
+
+namespace milback::radar {
+
+/// Power profile across the FMCW band.
+struct FrequencyProfile {
+  std::vector<double> frequency_hz;  ///< Bin centers across the sweep.
+  std::vector<double> power;         ///< Smoothed reflected power (linear).
+
+  /// Interpolated frequency of the strongest reflection, or std::nullopt
+  /// for an empty/flat profile.
+  std::optional<double> peak_frequency_hz() const;
+};
+
+/// Profiler knobs.
+struct ProfileConfig {
+  std::size_t n_bins = 96;            ///< Output frequency bins across the band.
+  std::size_t smooth_window = 5;      ///< Moving-average width on the envelope.
+};
+
+/// Recovers the power-vs-frequency profile from a background-subtracted
+/// difference spectrum of one chirp (sampled at `fs`).
+FrequencyProfile reflected_power_profile(
+    const std::vector<std::complex<double>>& difference_spectrum, double fs,
+    const ChirpConfig& chirp, const ProfileConfig& config = {});
+
+}  // namespace milback::radar

@@ -1,0 +1,48 @@
+#include "milback/rf/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace milback::rf {
+
+Adc::Adc(const AdcConfig& config) : config_(config) {
+  if (config_.bits == 0 || config_.bits > 24) {
+    throw std::invalid_argument("Adc: bits must be in [1, 24]");
+  }
+  if (config_.sample_rate_hz <= 0.0 || config_.full_scale_v <= 0.0) {
+    throw std::invalid_argument("Adc: non-positive rate or full scale");
+  }
+}
+
+double Adc::lsb() const noexcept {
+  return config_.full_scale_v / double(1u << config_.bits);
+}
+
+double Adc::quantization_noise_power() const noexcept {
+  const double q = lsb();
+  return q * q / 12.0;
+}
+
+double Adc::quantize(double v) const noexcept {
+  const double lo = config_.bipolar ? -config_.full_scale_v / 2.0 : 0.0;
+  const double hi = config_.bipolar ? config_.full_scale_v / 2.0 : config_.full_scale_v;
+  const double clipped = std::clamp(v, lo, hi);
+  const double q = lsb();
+  return lo + std::round((clipped - lo) / q) * q;
+}
+
+std::vector<double> Adc::sample(const std::vector<double>& x, double input_rate_hz) const {
+  if (input_rate_hz < config_.sample_rate_hz) {
+    throw std::invalid_argument("Adc::sample: input rate below ADC rate");
+  }
+  const double step = input_rate_hz / config_.sample_rate_hz;
+  std::vector<double> out;
+  out.reserve(std::size_t(double(x.size()) / step) + 1);
+  for (double pos = 0.0; pos < double(x.size()); pos += step) {
+    out.push_back(quantize(x[std::size_t(pos)]));
+  }
+  return out;
+}
+
+}  // namespace milback::rf

@@ -1,0 +1,48 @@
+#include "milback/rf/amplifier.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "milback/util/units.hpp"
+
+namespace milback::rf {
+
+Amplifier::Amplifier(const AmplifierConfig& config) : config_(config) {
+  if (config_.noise_figure_db < 0.0) {
+    throw std::invalid_argument("Amplifier: negative noise figure");
+  }
+}
+
+double Amplifier::output_power_dbm(double input_dbm) const noexcept {
+  const double linear_out_dbm = input_dbm + config_.gain_db;
+  if (config_.p1db_out_dbm > 1e8) return linear_out_dbm;  // ideal linear block
+  // Rapp model (smoothness p = 2) on power: saturation power sits ~1 dB above
+  // P1dB for this smoothness.
+  const double psat_w = dbm2watt(config_.p1db_out_dbm + 1.0);
+  const double pin_w = dbm2watt(linear_out_dbm);
+  constexpr double p = 2.0;
+  const double pout_w = pin_w / std::pow(1.0 + std::pow(pin_w / psat_w, p), 1.0 / p);
+  return watt2dbm(pout_w);
+}
+
+double Amplifier::noise_temperature_k() const noexcept {
+  return kReferenceTemperatureK * (db2lin(config_.noise_figure_db) - 1.0);
+}
+
+double Amplifier::compression_db(double input_dbm) const noexcept {
+  return (input_dbm + config_.gain_db) - output_power_dbm(input_dbm);
+}
+
+Amplifier make_default_lna() {
+  // ADL8142-class: ~20 dB gain, ~3.5 dB NF at 28 GHz.
+  return Amplifier(AmplifierConfig{.gain_db = 20.0, .noise_figure_db = 3.5,
+                                   .p1db_out_dbm = 10.0});
+}
+
+Amplifier make_default_pa() {
+  // ADPA7005-class driver: run so the chain delivers 27 dBm to the antenna.
+  return Amplifier(AmplifierConfig{.gain_db = 30.0, .noise_figure_db = 6.0,
+                                   .p1db_out_dbm = 28.0});
+}
+
+}  // namespace milback::rf

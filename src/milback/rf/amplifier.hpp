@@ -1,0 +1,52 @@
+// Amplifier models: LNA (ADL8142 stand-in) and PA (ADPA7005 stand-in).
+//
+// Gains and noise figures enter the link budget; the PA additionally applies
+// Rapp-model soft compression around its 1 dB compression point so that
+// overdriving the TX chain saturates rather than producing unbounded power.
+#pragma once
+
+namespace milback::rf {
+
+/// Common small-signal amplifier description.
+struct AmplifierConfig {
+  double gain_db = 20.0;          ///< Small-signal power gain.
+  double noise_figure_db = 3.0;   ///< Noise figure at 290 K.
+  double p1db_out_dbm = 1e9;      ///< Output 1 dB compression point (huge = linear).
+};
+
+/// A gain + noise-figure + compression block.
+class Amplifier {
+ public:
+  /// Constructs from a config (throws std::invalid_argument on negative NF).
+  explicit Amplifier(const AmplifierConfig& config);
+
+  /// Output power [dBm] for an input power [dBm], with Rapp soft clipping.
+  double output_power_dbm(double input_dbm) const noexcept;
+
+  /// Small-signal gain [dB].
+  double gain_db() const noexcept { return config_.gain_db; }
+
+  /// Noise figure [dB].
+  double noise_figure_db() const noexcept { return config_.noise_figure_db; }
+
+  /// Effective input-referred noise temperature [K].
+  double noise_temperature_k() const noexcept;
+
+  /// Gain compression [dB] experienced at the given input power (0 when
+  /// operating linearly).
+  double compression_db(double input_dbm) const noexcept;
+
+  /// Config echo.
+  const AmplifierConfig& config() const noexcept { return config_; }
+
+ private:
+  AmplifierConfig config_;
+};
+
+/// Low-noise amplifier defaults matching the AP's receive chain.
+Amplifier make_default_lna();
+
+/// Power amplifier defaults matching the AP's transmit chain (27 dBm out).
+Amplifier make_default_pa();
+
+}  // namespace milback::rf

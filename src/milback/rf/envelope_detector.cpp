@@ -1,0 +1,64 @@
+#include "milback/rf/envelope_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "milback/dsp/fir.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::rf {
+
+EnvelopeDetector::EnvelopeDetector(const EnvelopeDetectorConfig& config)
+    : config_(config) {
+  if (config_.responsivity_v_per_w <= 0.0 || config_.video_bandwidth_hz <= 0.0) {
+    throw std::invalid_argument("EnvelopeDetector: non-positive responsivity/bandwidth");
+  }
+}
+
+double EnvelopeDetector::output_voltage(double input_power_w) const noexcept {
+  const double v = config_.responsivity_v_per_w * std::max(input_power_w, 0.0);
+  return std::min(v, config_.max_output_v);
+}
+
+double EnvelopeDetector::input_power_for_voltage(double v) const noexcept {
+  return std::max(v, 0.0) / config_.responsivity_v_per_w;
+}
+
+std::vector<double> EnvelopeDetector::detect(const std::vector<double>& input_power_w,
+                                             double fs, Rng& rng) const {
+  // One-pole video filter: tau = 1 / (2*pi*f3dB) seconds -> samples.
+  const double tau_samples = fs / (2.0 * kPi * config_.video_bandwidth_hz);
+  dsp::OnePoleLowpass lpf(tau_samples);
+  // Noise measured in the effective noise bandwidth of the video filter,
+  // clamped by the simulation Nyquist rate.
+  const double enbw = std::min(kPi / 2.0 * config_.video_bandwidth_hz, fs / 2.0);
+  const double sigma = config_.output_noise_v_per_rthz * std::sqrt(enbw);
+  std::vector<double> out(input_power_w.size());
+  for (std::size_t i = 0; i < input_power_w.size(); ++i) {
+    const double clean = output_voltage(input_power_w[i]);
+    const double filtered = lpf.step(clean);
+    out[i] = std::clamp(filtered + rng.gaussian(0.0, sigma), 0.0, config_.max_output_v);
+  }
+  return out;
+}
+
+double EnvelopeDetector::noise_power_v2(double bw_hz) const noexcept {
+  const double d = config_.output_noise_v_per_rthz;
+  return d * d * std::max(bw_hz, 0.0);
+}
+
+double EnvelopeDetector::rise_time_s() const noexcept {
+  return 0.35 / config_.video_bandwidth_hz;
+}
+
+double EnvelopeDetector::max_symbol_rate_hz() const noexcept {
+  // Require the symbol period to cover one rise and one fall.
+  return 1.0 / (2.0 * rise_time_s());
+}
+
+double EnvelopeDetector::residual_reflection() const noexcept {
+  return db2lin(-config_.input_return_loss_db);
+}
+
+}  // namespace milback::rf

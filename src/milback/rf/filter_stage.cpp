@@ -1,0 +1,57 @@
+#include "milback/rf/filter_stage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "milback/dsp/fir.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::rf {
+
+BandPassFilter::BandPassFilter(const BandPassConfig& config) : config_(config) {
+  if (config_.f_low_hz <= 0.0 || config_.f_high_hz <= config_.f_low_hz) {
+    throw std::invalid_argument("BandPassFilter: require 0 < f_low < f_high");
+  }
+  if (config_.order < 1) throw std::invalid_argument("BandPassFilter: order >= 1");
+}
+
+double BandPassFilter::attenuation_db(double f_hz) const noexcept {
+  const double f = std::abs(f_hz);
+  // Cascade of a Butterworth high-pass at f_low and low-pass at f_high.
+  const double hp = 1.0 / (1.0 + std::pow(config_.f_low_hz / std::max(f, 1e-9),
+                                          2.0 * config_.order));
+  const double lp = 1.0 / (1.0 + std::pow(f / config_.f_high_hz, 2.0 * config_.order));
+  const double gain = hp * lp;
+  return -lin2db(std::max(gain, 1e-30)) + config_.insertion_loss_db;
+}
+
+double BandPassFilter::power_gain(double f_hz) const noexcept {
+  return db2lin(-attenuation_db(f_hz));
+}
+
+std::vector<double> BandPassFilter::apply(const std::vector<double>& x, double fs,
+                                          std::size_t taps) const {
+  if (x.empty()) return {};
+  const double nyq = fs / 2.0;
+  const double f_hi = std::min(config_.f_high_hz, nyq * 0.95);
+  auto h = dsp::design_bandpass(std::min(config_.f_low_hz, f_hi * 0.5), f_hi, fs, taps);
+  auto y = dsp::filter_same(h, x);
+  const double loss = db2amp(-config_.insertion_loss_db);
+  for (auto& v : y) v *= loss;
+  return y;
+}
+
+std::vector<std::complex<double>> BandPassFilter::apply(
+    const std::vector<std::complex<double>>& x, double fs, std::size_t taps) const {
+  if (x.empty()) return {};
+  const double nyq = fs / 2.0;
+  const double f_hi = std::min(config_.f_high_hz, nyq * 0.95);
+  auto h = dsp::design_bandpass(std::min(config_.f_low_hz, f_hi * 0.5), f_hi, fs, taps);
+  auto y = dsp::filter_same(h, x);
+  const double loss = db2amp(-config_.insertion_loss_db);
+  for (auto& v : y) v *= loss;
+  return y;
+}
+
+}  // namespace milback::rf

@@ -1,0 +1,54 @@
+// Band-pass filter stage (ZFHP-0R50-S+ / ZFHP-0R23-S+ stand-in).
+//
+// In the paper's AP the mixer output passes through a BPF that (a) rejects
+// the DC self-interference product and (b) rejects the high-frequency mixing
+// images, leaving the node's baseband response. The model combines an
+// analytic Butterworth magnitude response (for link-budget math) with a
+// sampled-domain FIR application (for waveform-level simulation).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace milback::rf {
+
+/// Band-pass parameters.
+struct BandPassConfig {
+  double f_low_hz = 500e3;       ///< Lower passband edge.
+  double f_high_hz = 100e6;      ///< Upper passband edge.
+  double insertion_loss_db = 1.0;  ///< Mid-band loss.
+  int order = 4;                 ///< Butterworth order per edge.
+};
+
+/// Analytic + sampled band-pass filter.
+class BandPassFilter {
+ public:
+  /// Validates edges (throws std::invalid_argument if f_low >= f_high or
+  /// non-positive).
+  explicit BandPassFilter(const BandPassConfig& config);
+
+  /// Magnitude response attenuation at frequency `f_hz` [dB, >= 0 plus
+  /// insertion loss]. DC and out-of-band tones are strongly attenuated.
+  double attenuation_db(double f_hz) const noexcept;
+
+  /// Power gain (linear, <= 1) at frequency `f_hz`.
+  double power_gain(double f_hz) const noexcept;
+
+  /// Applies the filter to a real sampled signal at rate `fs` using a
+  /// windowed-sinc FIR equivalent (length `taps`, odd).
+  std::vector<double> apply(const std::vector<double>& x, double fs,
+                            std::size_t taps = 129) const;
+
+  /// Complex version of apply().
+  std::vector<std::complex<double>> apply(const std::vector<std::complex<double>>& x,
+                                          double fs, std::size_t taps = 129) const;
+
+  /// Config echo.
+  const BandPassConfig& config() const noexcept { return config_; }
+
+ private:
+  BandPassConfig config_;
+};
+
+}  // namespace milback::rf

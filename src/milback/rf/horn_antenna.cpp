@@ -1,0 +1,28 @@
+#include "milback/rf/horn_antenna.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "milback/util/units.hpp"
+
+namespace milback::rf {
+
+HornAntenna::HornAntenna(const HornAntennaConfig& config) : config_(config) {
+  if (config_.beamwidth_deg <= 0.0) {
+    throw std::invalid_argument("HornAntenna: non-positive beamwidth");
+  }
+}
+
+double HornAntenna::gain_dbi(double offset_deg) const noexcept {
+  // Gaussian main lobe: -3 dB at +-beamwidth/2.
+  const double x = offset_deg / (config_.beamwidth_deg / 2.0);
+  const double mainlobe = config_.boresight_gain_dbi - 3.0 * x * x;
+  return std::max(mainlobe, config_.sidelobe_floor_dbi);
+}
+
+double HornAntenna::gain_linear(double offset_deg) const noexcept {
+  return db2lin(gain_dbi(offset_deg));
+}
+
+}  // namespace milback::rf

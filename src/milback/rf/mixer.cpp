@@ -1,0 +1,28 @@
+#include "milback/rf/mixer.hpp"
+
+#include <cmath>
+
+#include "milback/util/units.hpp"
+
+namespace milback::rf {
+
+double Mixer::amplitude_scale() const noexcept {
+  return db2amp(-config_.conversion_loss_db);
+}
+
+std::vector<std::complex<double>> Mixer::downconvert(
+    const std::vector<std::complex<double>>& rf, double f_lo_offset_hz, double fs,
+    double lo_drive_dbm) const {
+  std::vector<std::complex<double>> out(rf.size());
+  const double scale = amplitude_scale();
+  const double leak_amp =
+      std::sqrt(dbm2watt(lo_drive_dbm + config_.lo_leakage_db));
+  for (std::size_t n = 0; n < rf.size(); ++n) {
+    const double ph = -2.0 * kPi * f_lo_offset_hz * double(n) / fs;
+    const std::complex<double> lo{std::cos(ph), std::sin(ph)};
+    out[n] = rf[n] * lo * scale + std::complex<double>{leak_amp, 0.0};
+  }
+  return out;
+}
+
+}  // namespace milback::rf

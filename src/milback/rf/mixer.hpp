@@ -1,0 +1,51 @@
+// Mixer model (ZMDB-44H-K+ stand-in).
+//
+// The AP multiplies each received antenna signal with one tone of its own
+// transmitted query (Figure 7 of the paper). At complex baseband this is a
+// frequency shift; the model adds conversion loss and an LO-leakage DC term —
+// the DC term is exactly the self-interference product the paper's BPF
+// removes, so it matters for the uplink receiver tests.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace milback::rf {
+
+/// Mixer parameters.
+struct MixerConfig {
+  double conversion_loss_db = 9.0;  ///< SSB conversion loss (ZMDB-44H class).
+  double lo_leakage_db = -30.0;     ///< LO-to-IF leakage relative to LO drive.
+};
+
+/// Downconverting mixer.
+class Mixer {
+ public:
+  /// Constructs with the given parameters.
+  explicit Mixer(const MixerConfig& config) noexcept : config_(config) {}
+
+  /// Power [dBm] of the wanted IF product for a given RF input power [dBm].
+  double if_power_dbm(double rf_power_dbm) const noexcept {
+    return rf_power_dbm - config_.conversion_loss_db;
+  }
+
+  /// Amplitude scale factor applied to the baseband signal (sqrt of the
+  /// conversion loss).
+  double amplitude_scale() const noexcept;
+
+  /// Mixes a complex RF-envelope signal with an LO offset of `f_lo_offset_hz`
+  /// (relative to the signal's reference frequency) at sample rate `fs`,
+  /// applying conversion loss and adding the DC leakage term.
+  /// `lo_drive_dbm` sets the absolute LO leakage level.
+  std::vector<std::complex<double>> downconvert(
+      const std::vector<std::complex<double>>& rf, double f_lo_offset_hz, double fs,
+      double lo_drive_dbm) const;
+
+  /// Config echo.
+  const MixerConfig& config() const noexcept { return config_; }
+
+ private:
+  MixerConfig config_;
+};
+
+}  // namespace milback::rf

@@ -1,0 +1,40 @@
+#include "milback/rf/noise.hpp"
+
+#include <cmath>
+
+#include "milback/util/units.hpp"
+
+namespace milback::rf {
+
+double noise_floor_w(double bandwidth_hz, double noise_figure_db) {
+  return thermal_noise_power(bandwidth_hz) * db2lin(noise_figure_db);
+}
+
+double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) {
+  return watt2dbm(noise_floor_w(bandwidth_hz, noise_figure_db));
+}
+
+std::vector<double> awgn_real(std::size_t n, double power_w, milback::Rng& rng) {
+  const double sigma = std::sqrt(std::max(power_w, 0.0));
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.gaussian(0.0, sigma);
+  return out;
+}
+
+std::vector<std::complex<double>> awgn_complex(std::size_t n, double power_w,
+                                               milback::Rng& rng) {
+  std::vector<std::complex<double>> out(n);
+  for (auto& v : out) v = rng.complex_gaussian(std::max(power_w, 0.0));
+  return out;
+}
+
+void add_awgn(std::vector<std::complex<double>>& x, double power_w, milback::Rng& rng) {
+  for (auto& v : x) v += rng.complex_gaussian(std::max(power_w, 0.0));
+}
+
+void add_awgn(std::vector<double>& x, double power_w, milback::Rng& rng) {
+  const double sigma = std::sqrt(std::max(power_w, 0.0));
+  for (auto& v : x) v += rng.gaussian(0.0, sigma);
+}
+
+}  // namespace milback::rf

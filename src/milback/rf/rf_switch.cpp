@@ -1,0 +1,59 @@
+#include "milback/rf/rf_switch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "milback/util/units.hpp"
+
+namespace milback::rf {
+
+RfSwitch::RfSwitch(const RfSwitchConfig& config) : config_(config) {
+  if (config_.transition_time_s <= 0.0) {
+    throw std::invalid_argument("RfSwitch: non-positive transition time");
+  }
+}
+
+double RfSwitch::reflection_power(SwitchState s) const noexcept {
+  if (s == SwitchState::kReflect) {
+    // Signal passes the switch, reflects off the short, passes back out.
+    return db2lin(-2.0 * config_.insertion_loss_db);
+  }
+  // Matched detector: only the residual return-loss reflection comes back.
+  return db2lin(-config_.detector_return_loss_db);
+}
+
+double RfSwitch::through_power(SwitchState s) const noexcept {
+  if (s == SwitchState::kAbsorb) {
+    return db2lin(-config_.insertion_loss_db);
+  }
+  // Reflect state: detector port sees only isolation leakage.
+  return db2lin(-config_.isolation_db);
+}
+
+double RfSwitch::max_toggle_rate_hz() const noexcept {
+  return 1.0 / (2.0 * config_.transition_time_s);
+}
+
+std::vector<double> RfSwitch::reflection_waveform(const std::vector<SwitchState>& states,
+                                                  std::size_t samples_per_state,
+                                                  double fs) const {
+  if (samples_per_state == 0) {
+    throw std::invalid_argument("reflection_waveform: samples_per_state must be >= 1");
+  }
+  std::vector<double> out;
+  out.reserve(states.size() * samples_per_state);
+  // Exponential settling with tau derived from the 10-90% transition time.
+  const double tau_s = config_.transition_time_s / 2.197;  // ln(0.9/0.1) ~ 2.197
+  const double alpha = 1.0 - std::exp(-1.0 / (tau_s * fs));
+  double level = states.empty() ? 0.0 : reflection_power(states.front());
+  for (const auto& s : states) {
+    const double target = reflection_power(s);
+    for (std::size_t i = 0; i < samples_per_state; ++i) {
+      level += alpha * (target - level);
+      out.push_back(level);
+    }
+  }
+  return out;
+}
+
+}  // namespace milback::rf

@@ -1,0 +1,56 @@
+#include "milback/rf/waveform.hpp"
+
+#include <cmath>
+
+namespace milback::rf {
+
+WaveformGenerator::WaveformGenerator(const WaveformGeneratorConfig& config)
+    : config_(config) {
+  if (config_.max_frequency_hz <= config_.min_frequency_hz) {
+    throw std::invalid_argument("WaveformGenerator: empty band");
+  }
+  if (config_.max_segment_bandwidth_hz <= 0.0) {
+    throw std::invalid_argument("WaveformGenerator: non-positive segment bandwidth");
+  }
+}
+
+std::size_t WaveformGenerator::segments_for_bandwidth(double sweep_bandwidth_hz) const {
+  if (sweep_bandwidth_hz <= 0.0) {
+    throw std::invalid_argument("segments_for_bandwidth: non-positive bandwidth");
+  }
+  if (sweep_bandwidth_hz > band_hz() + 1.0) {
+    throw std::invalid_argument("segments_for_bandwidth: sweep exceeds generator band");
+  }
+  return std::size_t(std::ceil(sweep_bandwidth_hz / config_.max_segment_bandwidth_hz));
+}
+
+TwoToneSignal WaveformGenerator::make_two_tone(double f_a_hz, double f_b_hz) const {
+  if (!in_band(f_a_hz) || !in_band(f_b_hz)) {
+    throw std::invalid_argument("make_two_tone: tone out of generator band");
+  }
+  // Total output power is split across the two tones (3 dB each when both
+  // are enabled); the caller gates `enabled` per OAQFM symbol.
+  TwoToneSignal s;
+  s.tone_a = Tone{f_a_hz, config_.output_power_dbm - 3.0, true};
+  s.tone_b = Tone{f_b_hz, config_.output_power_dbm - 3.0, true};
+  return s;
+}
+
+std::vector<std::complex<double>> WaveformGenerator::tone_baseband(
+    const TwoToneSignal& signal, double f_ref_hz, double fs, std::size_t num_samples) const {
+  std::vector<std::complex<double>> out(num_samples, {0.0, 0.0});
+  auto add_tone = [&](const Tone& tone) {
+    if (!tone.enabled) return;
+    const double amp = std::sqrt(dbm2watt(tone.power_dbm));
+    const double f_bb = tone.frequency_hz - f_ref_hz;
+    for (std::size_t n = 0; n < num_samples; ++n) {
+      const double ph = 2.0 * kPi * f_bb * double(n) / fs;
+      out[n] += amp * std::complex<double>{std::cos(ph), std::sin(ph)};
+    }
+  };
+  add_tone(signal.tone_a);
+  add_tone(signal.tone_b);
+  return out;
+}
+
+}  // namespace milback::rf

@@ -1,0 +1,93 @@
+// Waveform generator model (the paper's Keysight M9384B VXG stand-in).
+//
+// The generator produces two waveform families:
+//   * FMCW chirps for localization/orientation (detailed chirp math lives in
+//     milback/radar/chirp.hpp; this class enforces generator constraints such
+//     as the 2 GHz instantaneous-bandwidth limit that forced the authors to
+//     patch two chirps together, and output power).
+//   * Two-tone query/downlink signals for OAQFM communication.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "milback/util/units.hpp"
+
+namespace milback::rf {
+
+/// One continuous-wave tone of the OAQFM pair.
+struct Tone {
+  double frequency_hz = 0.0;  ///< RF carrier frequency.
+  double power_dbm = 0.0;     ///< Power delivered to the TX antenna port.
+  bool enabled = true;        ///< OAQFM gates tones on/off per symbol.
+};
+
+/// The AP's two-tone query/downlink signal (Section 6 of the paper).
+struct TwoToneSignal {
+  Tone tone_a;  ///< Tone received by the node's FSA port A.
+  Tone tone_b;  ///< Tone received by the node's FSA port B.
+
+  /// True when the tones are close enough that the node's two beams merge
+  /// (normal-incidence degenerate case; system falls back to single-tone OOK).
+  bool degenerate(double min_separation_hz) const noexcept {
+    return std::abs(tone_a.frequency_hz - tone_b.frequency_hz) < min_separation_hz;
+  }
+};
+
+/// Parameters of the signal-generator model.
+struct WaveformGeneratorConfig {
+  double min_frequency_hz = 26.5e9;   ///< Low edge of the FMCW band.
+  double max_frequency_hz = 29.5e9;   ///< High edge of the FMCW band.
+  double max_segment_bandwidth_hz = 2e9;  ///< VXG instantaneous BW limit.
+  double output_power_dbm = 27.0;     ///< Power after the ADPA7005 PA.
+  double phase_noise_floor_dbc = -95.0;  ///< Far-out phase-noise floor (dBc/Hz).
+};
+
+/// Models the AP's signal source. Validates requested waveforms against the
+/// band plan and reports how many patched segments a chirp needs.
+class WaveformGenerator {
+ public:
+  /// Constructs with the given configuration; throws std::invalid_argument
+  /// if the band is empty or the segment bandwidth is non-positive.
+  explicit WaveformGenerator(const WaveformGeneratorConfig& config);
+
+  /// Configuration in use.
+  const WaveformGeneratorConfig& config() const noexcept { return config_; }
+
+  /// Full sweep bandwidth available for FMCW [Hz] (3 GHz in the paper).
+  double band_hz() const noexcept {
+    return config_.max_frequency_hz - config_.min_frequency_hz;
+  }
+
+  /// Band center frequency [Hz] (28 GHz in the paper).
+  double center_frequency_hz() const noexcept {
+    return 0.5 * (config_.min_frequency_hz + config_.max_frequency_hz);
+  }
+
+  /// Number of chirp segments that must be patched together to cover
+  /// `sweep_bandwidth_hz` (the paper patches two 2 GHz chirps for 3 GHz).
+  std::size_t segments_for_bandwidth(double sweep_bandwidth_hz) const;
+
+  /// Builds a two-tone signal at the given frequencies with generator output
+  /// power split across enabled tones. Frequencies must lie in band.
+  TwoToneSignal make_two_tone(double f_a_hz, double f_b_hz) const;
+
+  /// True if `f_hz` is inside the generator band.
+  bool in_band(double f_hz) const noexcept {
+    return f_hz >= config_.min_frequency_hz && f_hz <= config_.max_frequency_hz;
+  }
+
+  /// Complex-baseband samples of the enabled tones relative to a reference
+  /// frequency `f_ref_hz`, at sample rate `fs`. Used by waveform-level
+  /// microbenchmarks (Fig 11).
+  std::vector<std::complex<double>> tone_baseband(const TwoToneSignal& signal,
+                                                  double f_ref_hz, double fs,
+                                                  std::size_t num_samples) const;
+
+ private:
+  WaveformGeneratorConfig config_;
+};
+
+}  // namespace milback::rf

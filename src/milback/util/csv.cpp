@@ -1,0 +1,43 @@
+#include "milback/util/csv.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace milback {
+
+CsvWriter::CsvWriter(const std::string& dir, const std::string& name,
+                     const std::vector<std::string>& header) {
+  if (dir.empty()) return;
+  out_.emplace(dir + "/" + name + ".csv");
+  if (!out_->is_open()) {
+    out_.reset();
+    return;
+  }
+  row_strings(header);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (!out_) return;
+  std::ostringstream line;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) line << ',';
+    line << values[i];
+  }
+  *out_ << line.str() << '\n';
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& values) {
+  if (!out_) return;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << values[i];
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::env_dir() {
+  const char* dir = std::getenv("MILBACK_CSV_DIR");
+  return dir ? std::string(dir) : std::string{};
+}
+
+}  // namespace milback

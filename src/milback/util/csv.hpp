@@ -1,0 +1,38 @@
+// Minimal CSV writer so every bench can optionally dump its series for
+// external plotting (set MILBACK_CSV_DIR to a directory to enable).
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace milback {
+
+/// Writes rows of values to `<dir>/<name>.csv` if `dir` is non-empty.
+/// If `dir` is empty the writer is a no-op sink, so benches can call it
+/// unconditionally.
+class CsvWriter {
+ public:
+  /// Opens `<dir>/<name>.csv` and writes the header row. Empty `dir`
+  /// disables writing entirely.
+  CsvWriter(const std::string& dir, const std::string& name,
+            const std::vector<std::string>& header);
+
+  /// Appends one row. Size need not match the header (CSV is forgiving).
+  void row(const std::vector<double>& values);
+
+  /// Appends one row of preformatted strings.
+  void row_strings(const std::vector<std::string>& values);
+
+  /// True if a file is actually being written.
+  bool active() const noexcept { return out_.has_value(); }
+
+  /// Reads MILBACK_CSV_DIR from the environment ("" if unset).
+  static std::string env_dir();
+
+ private:
+  std::optional<std::ofstream> out_;
+};
+
+}  // namespace milback

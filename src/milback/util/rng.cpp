@@ -1,0 +1,19 @@
+#include "milback/util/rng.hpp"
+
+#include "milback/util/units.hpp"
+
+namespace milback {
+
+double Rng::phase() { return uniform(-kPi, kPi); }
+
+Rng Rng::fork(std::uint64_t label) {
+  // SplitMix64-style mixing of a fresh draw with the label so that forks with
+  // different labels are decorrelated even if requested in a different order.
+  std::uint64_t z = engine_() ^ (label + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return Rng(z);
+}
+
+}  // namespace milback

@@ -1,0 +1,39 @@
+// Fixed-width console table printer. The benchmark harness prints the paper's
+// tables/figure series as aligned rows so `bench_*` output reads like the
+// evaluation section.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace milback {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are kept and
+  /// widen the table.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+
+  /// Convenience: scientific notation (for BER-style values).
+  static std::string sci(double v, int precision = 1);
+
+  /// Renders the table (header, rule, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Number of data rows accumulated.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace milback

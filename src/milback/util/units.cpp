@@ -1,0 +1,17 @@
+#include "milback/util/units.hpp"
+
+namespace milback {
+
+double wrap_degrees(double deg) noexcept {
+  double wrapped = std::fmod(deg + 180.0, 360.0);
+  if (wrapped < 0.0) wrapped += 360.0;
+  return wrapped - 180.0;
+}
+
+double wrap_radians(double rad) noexcept {
+  double wrapped = std::fmod(rad + kPi, 2.0 * kPi);
+  if (wrapped < 0.0) wrapped += 2.0 * kPi;
+  return wrapped - kPi;
+}
+
+}  // namespace milback

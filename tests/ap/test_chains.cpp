@@ -1,0 +1,53 @@
+// AP TX/RX chain tests.
+#include <gtest/gtest.h>
+
+#include "milback/ap/rx_chain.hpp"
+#include "milback/ap/tx_chain.hpp"
+
+namespace milback::ap {
+namespace {
+
+TEST(TxChain, DeliversPaperPower) {
+  TxChain tx;
+  EXPECT_NEAR(tx.antenna_port_power_dbm(), 27.0, 0.1);
+  EXPECT_NEAR(tx.eirp_dbm(), 47.0, 0.2);  // 27 dBm + 20 dBi horn
+}
+
+TEST(TxChain, CableLossSubtracts) {
+  TxChainConfig cfg;
+  cfg.cable_loss_db = 2.0;
+  TxChain tx{cfg};
+  EXPECT_NEAR(tx.antenna_port_power_dbm(), 25.0, 0.1);
+}
+
+TEST(TxChain, TwoToneUsesGeneratorBandPlan) {
+  TxChain tx;
+  const auto s = tx.make_two_tone(27.5e9, 28.5e9);
+  EXPECT_DOUBLE_EQ(s.tone_a.frequency_hz, 27.5e9);
+  EXPECT_THROW(tx.make_two_tone(20e9, 28e9), std::invalid_argument);
+}
+
+TEST(RxChain, CascadeNoiseFigureDominatedByLna) {
+  RxChain rx;
+  const double nf = rx.cascade_noise_figure_db();
+  // Slightly above the LNA's own 3.5 dB, well below the mixer's 9 dB.
+  EXPECT_GT(nf, rx.lna().noise_figure_db());
+  EXPECT_LT(nf, rx.lna().noise_figure_db() + 1.5);
+}
+
+TEST(RxChain, BasebandPowerComposition) {
+  RxChain rx;
+  const double out = rx.baseband_power_dbm(-60.0);
+  EXPECT_NEAR(out, -60.0 + rx.lna().gain_db() - rx.mixer().config().conversion_loss_db -
+                       rx.bpf().config().insertion_loss_db,
+              1e-9);
+}
+
+TEST(RxChain, ScopeIsBipolar) {
+  RxChain rx;
+  EXPECT_TRUE(rx.scope().config().bipolar);
+  EXPECT_GE(rx.scope().config().sample_rate_hz, 50e6);
+}
+
+}  // namespace
+}  // namespace milback::ap

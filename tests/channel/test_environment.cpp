@@ -1,0 +1,57 @@
+// Environment (clutter) model tests.
+#include <gtest/gtest.h>
+
+#include "milback/channel/environment.hpp"
+
+namespace milback::channel {
+namespace {
+
+TEST(Environment, AnechoicIsEmpty) {
+  EXPECT_EQ(Environment::anechoic().size(), 0u);
+}
+
+TEST(Environment, AddAccumulates) {
+  Environment env;
+  env.add({2.0, 10.0, 0.1});
+  env.add({5.0, -20.0, 0.5});
+  ASSERT_EQ(env.size(), 2u);
+  EXPECT_DOUBLE_EQ(env.clutter()[1].range_m, 5.0);
+}
+
+TEST(Environment, IndoorOfficeShape) {
+  Rng rng(7);
+  const auto env = Environment::indoor_office(rng, 8);
+  EXPECT_EQ(env.size(), 8u);
+  for (const auto& c : env.clutter()) {
+    EXPECT_GT(c.range_m, 1.0);
+    EXPECT_LT(c.range_m, 13.0);
+    EXPECT_GT(c.rcs_m2, 0.0);
+    EXPECT_LE(c.rcs_m2, 2.0);
+  }
+  // The first reflector is the strong back wall.
+  EXPECT_GE(env.clutter()[0].range_m, 8.0);
+  EXPECT_GE(env.clutter()[0].rcs_m2, 0.5);
+}
+
+TEST(Environment, IndoorOfficeDeterministicPerSeed) {
+  Rng a(9), b(9);
+  const auto ea = Environment::indoor_office(a);
+  const auto eb = Environment::indoor_office(b);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ea.clutter()[i].range_m, eb.clutter()[i].range_m);
+    EXPECT_DOUBLE_EQ(ea.clutter()[i].azimuth_deg, eb.clutter()[i].azimuth_deg);
+  }
+}
+
+TEST(Environment, MirrorReflectionDefaultsMatchPaperArtifact) {
+  // The paper's Fig 13b degradation sits at -6..-2 degrees.
+  MirrorReflection m;
+  EXPECT_GT(m.incidence_peak_deg, -6.0);
+  EXPECT_LT(m.incidence_peak_deg, -2.0);
+  EXPECT_GT(m.modulation_leakage, 0.0);
+  EXPECT_LT(m.modulation_leakage, 1.0);
+}
+
+}  // namespace
+}  // namespace milback::channel

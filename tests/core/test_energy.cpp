@@ -1,0 +1,48 @@
+// Energy accounting tests (Section 9.6).
+#include <gtest/gtest.h>
+
+#include "milback/core/energy.hpp"
+
+namespace milback::core {
+namespace {
+
+TEST(Energy, MilbackRowsMatchPaperHeadlines) {
+  const auto rows = milback_energy_rows(node::PowerModelConfig{});
+  ASSERT_EQ(rows.size(), 3u);
+  // Downlink @ 36 Mbps: 18 mW, 0.5 nJ/bit.
+  EXPECT_NEAR(rows[0].power_mw, 18.0, 0.2);
+  EXPECT_NEAR(rows[0].nj_per_bit, 0.5, 0.02);
+  // Localization: 18 mW.
+  EXPECT_NEAR(rows[1].power_mw, 18.0, 0.2);
+  // Uplink @ 40 Mbps: 32 mW, 0.8 nJ/bit.
+  EXPECT_NEAR(rows[2].power_mw, 32.0, 0.5);
+  EXPECT_NEAR(rows[2].nj_per_bit, 0.8, 0.03);
+}
+
+TEST(Energy, PacketEnergyMatchesManualSum) {
+  PacketTiming t{.field1_s = 100e-6, .field2_s = 90e-6, .payload_s = 200e-6,
+                 .total_s = 390e-6};
+  const node::PowerModelConfig cfg;
+  const double e_down =
+      packet_node_energy_j(t, LinkDirection::kDownlink, cfg, 0.0);
+  // All three phases at 18 mW.
+  EXPECT_NEAR(e_down, 0.018 * 390e-6, 0.018 * 390e-6 * 0.02);
+  const double e_up = packet_node_energy_j(t, LinkDirection::kUplink, cfg, 20e6);
+  EXPECT_GT(e_up, e_down);
+}
+
+TEST(Energy, BatteryLifeScaling) {
+  // A 220 mWh coin cell running 100 packets/s of ~7 uJ each plus 20 uW idle.
+  const double life = battery_life_hours(7e-6, 100.0, 220.0, 20e-6);
+  EXPECT_GT(life, 100.0);   // far beyond what an active mmWave radio gives
+  EXPECT_LT(life, 100000.0);
+  // More packets -> shorter life.
+  EXPECT_LT(battery_life_hours(7e-6, 1000.0, 220.0, 20e-6), life);
+}
+
+TEST(Energy, BatteryLifeDegenerate) {
+  EXPECT_DOUBLE_EQ(battery_life_hours(0.0, 0.0, 220.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace milback::core

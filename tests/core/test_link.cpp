@@ -1,0 +1,169 @@
+// End-to-end link tests: the four paper workflows through one MilBackLink.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milback/core/link.hpp"
+
+namespace milback::core {
+namespace {
+
+MilBackLink make_link(std::uint64_t env_seed = 1) {
+  Rng rng(env_seed);
+  auto chan = channel::BackscatterChannel::make_default(
+      channel::Environment::indoor_office(rng));
+  return MilBackLink(std::move(chan), LinkConfig{});
+}
+
+TEST(Link, LocalizeFindsNode) {
+  const auto link = make_link();
+  Rng rng(2);
+  const auto r = link.localize({3.0, 0.0, 12.0}, rng);
+  ASSERT_TRUE(r.detected);
+  EXPECT_NEAR(r.range_m, 3.0, 0.2);
+}
+
+TEST(Link, OrientationAtBothEndsAgree) {
+  const auto link = make_link();
+  Rng rng(3);
+  const channel::NodePose pose{2.0, 0.0, 14.0};
+  const auto ap_est = link.sense_orientation_at_ap(pose, rng);
+  const auto node_est = link.sense_orientation_at_node(pose, rng);
+  ASSERT_TRUE(ap_est.valid);
+  ASSERT_TRUE(node_est.has_value());
+  EXPECT_NEAR(ap_est.orientation_deg, 14.0, 3.0);
+  EXPECT_NEAR(node_est->orientation_deg, 14.0, 3.0);
+  EXPECT_NEAR(ap_est.orientation_deg, node_est->orientation_deg, 4.0);
+}
+
+TEST(Link, DownlinkErrorFreeAtTwoMeters) {
+  const auto link = make_link();
+  Rng rng(4);
+  Rng data(5);
+  const auto bits = data.bits(2000);
+  const auto r = link.run_downlink({2.0, 0.0, 15.0}, bits, rng);
+  ASSERT_TRUE(r.carriers_ok);
+  EXPECT_EQ(r.mode, ModulationMode::kOaqfm);
+  EXPECT_EQ(r.bit_errors, 0u);
+  EXPECT_GT(r.sinr_db, 18.0);
+  EXPECT_LT(r.analytic_ber, 1e-6);
+}
+
+TEST(Link, DownlinkOokFallbackAtNormalIncidence) {
+  const auto link = make_link();
+  Rng rng(6);
+  Rng data(7);
+  const auto bits = data.bits(500);
+  const auto r = link.run_downlink({2.0, 0.0, 0.0}, bits, rng);
+  ASSERT_TRUE(r.carriers_ok);
+  EXPECT_EQ(r.mode, ModulationMode::kOok);
+  EXPECT_DOUBLE_EQ(r.carriers.f_a_hz, r.carriers.f_b_hz);
+  EXPECT_EQ(r.bit_errors, 0u);
+}
+
+TEST(Link, UplinkErrorFreeAtThreeMeters) {
+  const auto link = make_link();
+  Rng rng(8);
+  Rng data(9);
+  const auto bits = data.bits(2000);
+  const auto r = link.run_uplink({3.0, 0.0, 15.0}, bits, rng);
+  ASSERT_TRUE(r.carriers_ok);
+  EXPECT_EQ(r.bit_errors, 0u);
+  EXPECT_GT(r.snr_db, 15.0);
+  EXPECT_GT(r.measured_snr_db, 10.0);
+}
+
+TEST(Link, UplinkRateSnrTradeoff) {
+  // 40 Mbps runs ~6 dB below 10 Mbps in budget SNR (Fig 15a vs 15b).
+  const auto link = make_link();
+  Rng r1(10), r2(11);
+  Rng data(12);
+  const auto bits = data.bits(600);
+  const channel::NodePose pose{6.0, 0.0, 15.0};
+  const auto slow = link.run_uplink(pose, bits, r1, 10e6);
+  const auto fast = link.run_uplink(pose, bits, r2, 40e6);
+  ASSERT_TRUE(slow.carriers_ok && fast.carriers_ok);
+  EXPECT_NEAR(slow.snr_db - fast.snr_db, 6.0, 1.5);
+}
+
+TEST(Link, DownlinkDegradesWithDistance) {
+  const auto link = make_link();
+  Rng r1(13), r2(14);
+  Rng data(15);
+  const auto bits = data.bits(400);
+  const auto near = link.run_downlink({2.0, 0.0, 15.0}, bits, r1);
+  const auto far = link.run_downlink({10.0, 0.0, 15.0}, bits, r2);
+  ASSERT_TRUE(near.carriers_ok && far.carriers_ok);
+  EXPECT_GT(near.sinr_db, far.sinr_db + 8.0);
+}
+
+TEST(Link, Field1TraceShapes) {
+  const auto link = make_link();
+  Rng rng(16);
+  const channel::NodePose pose{2.0, 0.0, 12.0};
+  const auto up = link.node_field1_trace(pose, antenna::FsaPort::kA,
+                                         LinkDirection::kUplink, rng);
+  const auto dn = link.node_field1_trace(pose, antenna::FsaPort::kA,
+                                         LinkDirection::kDownlink, rng);
+  // Uplink: 3 chirps of 45 us at 1 MS/s; downlink: 2 chirps + gap.
+  EXPECT_NEAR(double(up.size()), 135.0, 3.0);
+  EXPECT_NEAR(double(dn.size()),
+              (2 * 45e-6 + link.config().packet.preamble.field1_gap_s) * 1e6, 3.0);
+}
+
+TEST(Link, PacketDownlinkEndToEnd) {
+  const auto link = make_link();
+  Rng rng(17);
+  Rng data(18);
+  const auto bits = data.bits(1024);
+  const auto r = link.run_packet({2.0, 0.0, 12.0}, LinkDirection::kDownlink, bits, rng);
+  EXPECT_EQ(r.requested, LinkDirection::kDownlink);
+  ASSERT_TRUE(r.detected.has_value());
+  EXPECT_TRUE(r.direction_ok);
+  EXPECT_TRUE(r.localization.detected);
+  ASSERT_TRUE(r.node_orientation.has_value());
+  EXPECT_NEAR(r.node_orientation->orientation_deg, 12.0, 3.0);
+  ASSERT_TRUE(r.downlink.has_value());
+  EXPECT_EQ(r.downlink->bit_errors, 0u);
+  EXPECT_FALSE(r.uplink.has_value());
+  EXPECT_GT(r.node_energy_j, 0.0);
+  EXPECT_GT(r.timing.total_s, 0.0);
+}
+
+TEST(Link, PacketUplinkEndToEnd) {
+  const auto link = make_link();
+  Rng rng(19);
+  Rng data(20);
+  const auto bits = data.bits(1024);
+  const auto r = link.run_packet({2.0, 0.0, 12.0}, LinkDirection::kUplink, bits, rng);
+  EXPECT_TRUE(r.direction_ok);
+  ASSERT_TRUE(r.uplink.has_value());
+  EXPECT_EQ(r.uplink->bit_errors, 0u);
+  EXPECT_FALSE(r.downlink.has_value());
+}
+
+TEST(Link, PacketEnergyBudgetMicroJoules) {
+  // 18 mW for ~300 us of preamble+payload -> single-digit microjoules: the
+  // "low power" headline at packet granularity.
+  const auto link = make_link();
+  Rng rng(21);
+  Rng data(22);
+  const auto r = link.run_packet({2.0, 0.0, 12.0}, LinkDirection::kDownlink,
+                                 data.bits(1024), rng);
+  EXPECT_LT(r.node_energy_j, 20e-6);
+  EXPECT_GT(r.node_energy_j, 1e-6);
+}
+
+TEST(Link, UplinkPacketCostsMoreEnergyPerSecondThanDownlink) {
+  const auto link = make_link();
+  Rng r1(23), r2(24);
+  Rng data(25);
+  const auto bits = data.bits(1024);
+  const auto dn = link.run_packet({2.0, 0.0, 12.0}, LinkDirection::kDownlink, bits, r1);
+  const auto up = link.run_packet({2.0, 0.0, 12.0}, LinkDirection::kUplink, bits, r2);
+  // Per unit payload time uplink burns more (switch toggling).
+  EXPECT_GT(up.node_energy_j / up.timing.total_s, dn.node_energy_j / dn.timing.total_s);
+}
+
+}  // namespace
+}  // namespace milback::core

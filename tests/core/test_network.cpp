@@ -1,0 +1,163 @@
+// Multi-node network / SDM tests.
+#include <gtest/gtest.h>
+
+#include "milback/core/network.hpp"
+
+namespace milback::core {
+namespace {
+
+MilBackNetwork make_network(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  auto chan = channel::BackscatterChannel::make_default(
+      channel::Environment::indoor_office(rng));
+  return MilBackNetwork(std::move(chan), NetworkConfig{});
+}
+
+TEST(Network, AddAndEnumerate) {
+  auto net = make_network();
+  EXPECT_EQ(net.add_node("a", {2.0, -25.0, 10.0}), 0u);
+  EXPECT_EQ(net.add_node("b", {3.0, 0.0, -12.0}), 1u);
+  ASSERT_EQ(net.nodes().size(), 2u);
+  EXPECT_EQ(net.nodes()[0].id, "a");
+}
+
+TEST(Network, DiscoverLocalizesAll) {
+  auto net = make_network();
+  net.add_node("a", {2.0, -20.0, 10.0});
+  net.add_node("b", {4.0, 15.0, -15.0});
+  Rng rng(2);
+  const auto results = net.discover(rng);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].localization.detected);
+  ASSERT_TRUE(results[1].localization.detected);
+  EXPECT_NEAR(results[0].localization.range_m, 2.0, 0.2);
+  EXPECT_NEAR(results[1].localization.range_m, 4.0, 0.25);
+  EXPECT_TRUE(results[0].orientation.valid);
+  EXPECT_NEAR(results[0].orientation.orientation_deg, 10.0, 3.0);
+}
+
+TEST(Network, SdmSlotsSeparateCloseNodes) {
+  auto net = make_network();
+  net.add_node("a", {2.0, 0.0, 10.0});
+  net.add_node("b", {3.0, 5.0, 10.0});   // too close to a
+  net.add_node("c", {4.0, 30.0, 10.0});  // separable from a
+  const auto slots = net.sdm_slots();
+  ASSERT_EQ(slots.size(), 2u);
+  // a and c share a slot; b is alone.
+  EXPECT_EQ(slots[0].size(), 2u);
+  EXPECT_EQ(slots[1].size(), 1u);
+}
+
+TEST(Network, SdmAllSeparableInOneSlot) {
+  auto net = make_network();
+  net.add_node("a", {2.0, -30.0, 10.0});
+  net.add_node("b", {2.0, 0.0, 10.0});
+  net.add_node("c", {2.0, 30.0, 10.0});
+  EXPECT_EQ(net.sdm_slots().size(), 1u);
+}
+
+TEST(Network, InterNodeIsolationGrowsWithSeparation) {
+  auto net = make_network();
+  net.add_node("a", {2.0, 0.0, 10.0});
+  net.add_node("b", {2.0, 10.0, 10.0});
+  net.add_node("c", {2.0, 45.0, 10.0});
+  EXPECT_GT(net.inter_node_isolation_db(0, 2), net.inter_node_isolation_db(0, 1));
+  EXPECT_GT(net.inter_node_isolation_db(0, 2), 30.0);
+  EXPECT_NEAR(net.inter_node_isolation_db(0, 0), 0.0, 1e-9);
+}
+
+TEST(Network, UplinkRoundServesEveryNode) {
+  auto net = make_network();
+  net.add_node("a", {2.0, -25.0, 12.0});
+  net.add_node("b", {2.5, 0.0, -12.0});
+  net.add_node("c", {3.0, 25.0, 12.0});
+  Rng rng(3);
+  const auto round = net.run_uplink_round(400, rng);
+  EXPECT_EQ(round.nodes.size(), 3u);
+  EXPECT_GE(round.sdm_slots, 1u);
+  EXPECT_GT(round.aggregate_goodput_bps, 0.0);
+  for (const auto& n : round.nodes) {
+    EXPECT_TRUE(n.uplink.carriers_ok) << n.id;
+    EXPECT_EQ(n.uplink.bit_errors, 0u) << n.id;
+    EXPECT_GT(n.goodput_bps, 0.0) << n.id;
+  }
+}
+
+TEST(Network, ConcurrentNodesSeeInterferencePenalty) {
+  // Two nodes just past the SDM threshold share a slot; their effective SNR
+  // must be below the single-node budget SNR.
+  auto net = make_network();
+  net.add_node("a", {2.0, -11.0, 12.0});
+  net.add_node("b", {2.0, 11.0, 12.0});
+  ASSERT_EQ(net.sdm_slots().size(), 1u);
+  Rng rng(4);
+  const auto round = net.run_uplink_round(200, rng);
+  ASSERT_EQ(round.nodes.size(), 2u);
+  for (const auto& n : round.nodes) {
+    EXPECT_LT(n.effective_snr_db, n.uplink.snr_db) << n.id;
+  }
+}
+
+TEST(Network, DownlinkRoundServesEveryNode) {
+  auto net = make_network();
+  net.add_node("a", {2.0, -25.0, 12.0});
+  net.add_node("b", {2.5, 0.0, -12.0});
+  net.add_node("c", {3.0, 25.0, 12.0});
+  Rng rng(6);
+  const auto round = net.run_downlink_round(400, rng);
+  EXPECT_EQ(round.nodes.size(), 3u);
+  EXPECT_GT(round.aggregate_goodput_bps, 0.0);
+  for (const auto& n : round.nodes) {
+    EXPECT_TRUE(n.downlink.carriers_ok) << n.id;
+    EXPECT_EQ(n.downlink.bit_errors, 0u) << n.id;
+    EXPECT_GT(n.goodput_bps, 0.0) << n.id;
+    EXPECT_GT(n.effective_sinr_db, 5.0) << n.id;
+  }
+}
+
+TEST(Network, DownlinkInterferencePenaltyForSharedSlot) {
+  // Same node, same metric: effective SINR alone in the sector vs sharing
+  // an SDM slot with a neighbour 22 degrees away.
+  auto solo = make_network();
+  solo.add_node("a", {2.0, -11.0, 12.0});
+  auto shared = make_network();
+  shared.add_node("a", {2.0, -11.0, 12.0});
+  shared.add_node("b", {2.0, 11.0, 12.0});
+  ASSERT_EQ(shared.sdm_slots().size(), 1u);
+  Rng r1(7), r2(7);
+  const auto solo_round = solo.run_downlink_round(200, r1);
+  const auto shared_round = shared.run_downlink_round(200, r2);
+  ASSERT_EQ(solo_round.nodes.size(), 1u);
+  ASSERT_GE(shared_round.nodes.size(), 2u);
+  // Node "a" pays a concurrent-beam penalty of several dB.
+  EXPECT_LT(shared_round.nodes[0].effective_sinr_db,
+            solo_round.nodes[0].effective_sinr_db - 3.0);
+}
+
+TEST(Network, DownlinkAggregateScalesWithSeparableNodes) {
+  auto one = make_network();
+  one.add_node("a", {2.0, 0.0, 12.0});
+  auto two = make_network();
+  two.add_node("a", {2.0, -25.0, 12.0});
+  two.add_node("b", {2.0, 25.0, 12.0});
+  Rng r1(8), r2(9);
+  const auto round1 = one.run_downlink_round(200, r1);
+  const auto round2 = two.run_downlink_round(200, r2);
+  ASSERT_EQ(round2.sdm_slots, 1u);  // separable -> concurrent
+  EXPECT_GT(round2.aggregate_goodput_bps, 1.5 * round1.aggregate_goodput_bps);
+}
+
+TEST(Network, MoreSlotsLowerPerNodeGoodput) {
+  auto crowded = make_network();
+  crowded.add_node("a", {2.0, 0.0, 12.0});
+  crowded.add_node("b", {2.0, 4.0, 12.0});  // forces a second slot
+  Rng rng(5);
+  const auto round = crowded.run_uplink_round(200, rng);
+  EXPECT_EQ(round.sdm_slots, 2u);
+  for (const auto& n : round.nodes) {
+    EXPECT_LE(n.goodput_bps, crowded.link().config().uplink_bit_rate_bps / 2.0 + 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace milback::core

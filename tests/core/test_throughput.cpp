@@ -1,0 +1,92 @@
+// Protocol efficiency analysis tests.
+#include <gtest/gtest.h>
+
+#include "milback/core/throughput.hpp"
+
+namespace milback::core {
+namespace {
+
+TEST(Throughput, EfficiencyComposition) {
+  PacketConfig cfg;
+  const auto e = packet_efficiency(cfg, LinkDirection::kUplink, 10e6, 1000);
+  // Preamble: 3 * 45 us + 5 * 18 us = 225 us; payload: 1000 sym / 5 Msym/s
+  // = 200 us.
+  EXPECT_NEAR(e.preamble_s * 1e6, 225.0, 0.1);
+  EXPECT_NEAR(e.payload_s * 1e6, 200.0, 0.1);
+  EXPECT_NEAR(e.efficiency, 200.0 / 425.0, 1e-6);
+  EXPECT_NEAR(e.goodput_bps / 1e6, 2000.0 / 425.0, 0.01);
+  EXPECT_NEAR(e.packets_per_second, 1e6 / 425.0, 1.0);
+}
+
+TEST(Throughput, ZeroPayloadZeroEfficiency) {
+  PacketConfig cfg;
+  const auto e = packet_efficiency(cfg, LinkDirection::kDownlink, 36e6, 0);
+  EXPECT_DOUBLE_EQ(e.efficiency, 0.0);
+  EXPECT_DOUBLE_EQ(e.goodput_bps, 0.0);
+  EXPECT_GT(e.preamble_s, 0.0);
+}
+
+TEST(Throughput, EfficiencyMonotoneInPayload) {
+  PacketConfig cfg;
+  double prev = -1.0;
+  for (std::size_t symbols : {64u, 256u, 1024u, 4096u, 16384u}) {
+    const auto e = packet_efficiency(cfg, LinkDirection::kUplink, 10e6, symbols);
+    EXPECT_GT(e.efficiency, prev);
+    prev = e.efficiency;
+  }
+  EXPECT_GT(prev, 0.9);  // large payloads amortize the preamble
+}
+
+TEST(Throughput, PayloadForEfficiencyInverts) {
+  PacketConfig cfg;
+  for (double target : {0.5, 0.8, 0.95}) {
+    const auto symbols =
+        payload_for_efficiency(cfg, LinkDirection::kUplink, 10e6, target);
+    ASSERT_GT(symbols, 0u) << target;
+    const auto e = packet_efficiency(cfg, LinkDirection::kUplink, 10e6, symbols);
+    EXPECT_GE(e.efficiency, target - 1e-3) << target;
+    // And one symbol less would miss the target.
+    const auto e_less =
+        packet_efficiency(cfg, LinkDirection::kUplink, 10e6, symbols - 1);
+    EXPECT_LT(e_less.efficiency, target + 1e-3) << target;
+  }
+}
+
+TEST(Throughput, ImpossibleTargetsReturnZero) {
+  PacketConfig cfg;
+  EXPECT_EQ(payload_for_efficiency(cfg, LinkDirection::kUplink, 10e6, 1.0), 0u);
+  EXPECT_EQ(payload_for_efficiency(cfg, LinkDirection::kUplink, 10e6, 0.999999, 100), 0u);
+}
+
+TEST(Throughput, HigherRateNeedsLongerPayloadForSameEfficiency) {
+  // At 40 Mbps the payload flies by faster, so more symbols are needed to
+  // amortize the same (fixed-length) preamble.
+  PacketConfig cfg;
+  const auto s10 = payload_for_efficiency(cfg, LinkDirection::kUplink, 10e6, 0.8);
+  const auto s40 = payload_for_efficiency(cfg, LinkDirection::kUplink, 40e6, 0.8);
+  EXPECT_GT(s40, 3 * s10);
+}
+
+TEST(Throughput, TrackingInterval) {
+  EXPECT_NEAR(max_tracking_interval_s(1.0, 0.25), 0.25, 1e-12);
+  EXPECT_NEAR(max_tracking_interval_s(2.0, 0.25), 0.125, 1e-12);
+  EXPECT_GT(max_tracking_interval_s(0.0, 0.25), 1e8);  // static node
+}
+
+TEST(Throughput, LocalizationOverheadRegimes) {
+  PacketConfig cfg;
+  // Static node: no re-localization overhead.
+  EXPECT_DOUBLE_EQ(
+      localization_overhead(cfg, LinkDirection::kUplink, 10e6, 512, 0.0, 0.25), 0.0);
+  // Faster motion -> more overhead.
+  const double slow =
+      localization_overhead(cfg, LinkDirection::kUplink, 10e6, 512, 0.5, 0.25);
+  const double fast =
+      localization_overhead(cfg, LinkDirection::kUplink, 10e6, 512, 4.0, 0.25);
+  EXPECT_GT(fast, slow);
+  EXPECT_LE(fast, 1.0);
+  EXPECT_GT(slow, 0.0);
+}
+
+}  // namespace
+}  // namespace milback::core

@@ -1,0 +1,75 @@
+// Signal vector operation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milback/dsp/signal_ops.hpp"
+
+namespace milback::dsp {
+namespace {
+
+TEST(SignalOps, RealPower) {
+  EXPECT_DOUBLE_EQ(signal_power(std::vector<double>{1.0, -1.0, 1.0, -1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(signal_power(std::vector<double>{}), 0.0);
+}
+
+TEST(SignalOps, ComplexPower) {
+  std::vector<cplx> x{{3.0, 4.0}, {0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(signal_power(x), 12.5);
+}
+
+TEST(SignalOps, Energy) {
+  EXPECT_DOUBLE_EQ(signal_energy({2.0, 2.0}), 8.0);
+}
+
+TEST(SignalOps, AddSubtract) {
+  std::vector<cplx> a{{1.0, 1.0}, {2.0, 0.0}};
+  std::vector<cplx> b{{0.5, -1.0}, {1.0, 3.0}};
+  const auto s = add(a, b);
+  const auto d = subtract(a, b);
+  EXPECT_EQ(s[0], cplx(1.5, 0.0));
+  EXPECT_EQ(d[1], cplx(1.0, -3.0));
+}
+
+TEST(SignalOps, SizeMismatchThrows) {
+  std::vector<double> a{1.0}, b{1.0, 2.0};
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+}
+
+TEST(SignalOps, Scale) {
+  std::vector<double> x{1.0, -2.0};
+  scale(x, 3.0);
+  EXPECT_DOUBLE_EQ(x[1], -6.0);
+  std::vector<cplx> c{{1.0, 2.0}};
+  scale(c, 0.5);
+  EXPECT_EQ(c[0], cplx(0.5, 1.0));
+}
+
+TEST(SignalOps, AbsAbs2Arg) {
+  std::vector<cplx> x{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(abs(x)[0], 5.0);
+  EXPECT_DOUBLE_EQ(abs2(x)[0], 25.0);
+  EXPECT_NEAR(arg(x)[0], std::atan2(4.0, 3.0), 1e-12);
+}
+
+TEST(SignalOps, SnrDb) {
+  EXPECT_NEAR(snr_db(100.0, 1.0), 20.0, 1e-12);
+  EXPECT_GT(snr_db(1.0, 0.0), 250.0);
+  EXPECT_LT(snr_db(0.0, 1.0), -250.0);
+}
+
+TEST(SignalOps, CorrelationLagDetectsShift) {
+  std::vector<double> a(64, 0.0), b(64, 0.0);
+  for (int i = 20; i < 30; ++i) a[std::size_t(i)] = 1.0;
+  for (int i = 25; i < 35; ++i) b[std::size_t(i)] = 1.0;  // b delayed by 5
+  EXPECT_EQ(correlation_lag(a, b, 10), 5);
+  EXPECT_EQ(correlation_lag(b, a, 10), -5);
+  EXPECT_EQ(correlation_lag(a, a, 10), 0);
+}
+
+TEST(SignalOps, CorrelationLagMismatchThrows) {
+  EXPECT_THROW(correlation_lag({1.0}, {1.0, 2.0}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace milback::dsp

@@ -1,0 +1,80 @@
+// Window function tests.
+#include <gtest/gtest.h>
+
+#include "milback/dsp/window.hpp"
+
+namespace milback::dsp {
+namespace {
+
+class WindowTypes : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(WindowTypes, SymmetricAndBounded) {
+  const auto w = make_window(GetParam(), 65);
+  ASSERT_EQ(w.size(), 65u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i], -1e-12);
+    EXPECT_LE(w[i], 1.0 + 1e-12);
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12) << "asymmetric at " << i;
+  }
+}
+
+TEST_P(WindowTypes, PeaksAtCenter) {
+  const auto w = make_window(GetParam(), 65);
+  EXPECT_NEAR(w[32], 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowTypes,
+                         ::testing::Values(WindowType::kRectangular, WindowType::kHann,
+                                           WindowType::kHamming, WindowType::kBlackman,
+                                           WindowType::kBlackmanHarris));
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowType::kRectangular, 16);
+  for (const double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HannEndsAtZero) {
+  const auto w = make_window(WindowType::kHann, 33);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+}
+
+TEST(Window, HammingEndsNonZero) {
+  const auto w = make_window(WindowType::kHamming, 33);
+  EXPECT_NEAR(w.front(), 0.08, 1e-9);
+}
+
+TEST(Window, DegenerateSizes) {
+  EXPECT_TRUE(make_window(WindowType::kHann, 0).empty());
+  const auto w1 = make_window(WindowType::kHann, 1);
+  ASSERT_EQ(w1.size(), 1u);
+  EXPECT_DOUBLE_EQ(w1[0], 1.0);
+}
+
+TEST(Window, ApplyMultiplies) {
+  std::vector<double> x{2.0, 2.0, 2.0};
+  apply_window(x, {0.5, 1.0, 0.25});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 0.5);
+}
+
+TEST(Window, ApplyRejectsMismatch) {
+  std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW(apply_window(x, {1.0}), std::invalid_argument);
+}
+
+TEST(Window, CoherentGainKnownValues) {
+  EXPECT_NEAR(coherent_gain(make_window(WindowType::kRectangular, 64)), 1.0, 1e-12);
+  // Hann coherent gain -> 0.5 for large N.
+  EXPECT_NEAR(coherent_gain(make_window(WindowType::kHann, 4097)), 0.5, 1e-3);
+}
+
+TEST(Window, EnbwKnownValues) {
+  EXPECT_NEAR(enbw_bins(make_window(WindowType::kRectangular, 64)), 1.0, 1e-12);
+  // Hann ENBW = 1.5 bins for large N.
+  EXPECT_NEAR(enbw_bins(make_window(WindowType::kHann, 4097)), 1.5, 1e-2);
+}
+
+}  // namespace
+}  // namespace milback::dsp

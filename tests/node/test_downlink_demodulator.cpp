@@ -1,0 +1,116 @@
+// Downlink OAQFM demodulator tests with synthetic detector waveforms.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "milback/node/downlink_demodulator.hpp"
+
+namespace milback::node {
+namespace {
+
+using core::OaqfmSymbol;
+
+constexpr double kSymbolRate = 18e6;
+constexpr std::size_t kOversample = 16;
+constexpr double kFs = kSymbolRate * kOversample;
+
+// Builds ideal (settled) detector waveforms for a symbol stream.
+std::pair<std::vector<double>, std::vector<double>> waveforms_for(
+    const std::vector<OaqfmSymbol>& symbols, double high_v = 0.1, double low_v = 0.0) {
+  std::vector<double> va, vb;
+  for (const auto s : symbols) {
+    const auto tones = core::downlink_tones(s);
+    va.insert(va.end(), kOversample, tones.tone_a ? high_v : low_v);
+    vb.insert(vb.end(), kOversample, tones.tone_b ? high_v : low_v);
+  }
+  return {va, vb};
+}
+
+DownlinkDemodConfig config() {
+  return DownlinkDemodConfig{.symbol_rate_hz = kSymbolRate, .sample_point = 0.75,
+                             .mode = core::ModulationMode::kOaqfm};
+}
+
+TEST(DownlinkDemod, AllFourSymbolsDecoded) {
+  const std::vector<OaqfmSymbol> tx{OaqfmSymbol::k00, OaqfmSymbol::k01, OaqfmSymbol::k10,
+                                    OaqfmSymbol::k11, OaqfmSymbol::k10, OaqfmSymbol::k00};
+  const auto [va, vb] = waveforms_for(tx);
+  const auto d = demodulate_downlink(va, vb, kFs, config());
+  EXPECT_EQ(d.symbols, tx);
+}
+
+TEST(DownlinkDemod, SymbolCountMatchesDuration) {
+  const std::vector<OaqfmSymbol> tx(37, OaqfmSymbol::k11);
+  const auto [va, vb] = waveforms_for(tx);
+  const auto d = demodulate_downlink(va, vb, kFs, config());
+  EXPECT_EQ(d.symbols.size(), 37u);
+}
+
+TEST(DownlinkDemod, ThresholdsAdaptToSignalLevel) {
+  const std::vector<OaqfmSymbol> tx{OaqfmSymbol::k11, OaqfmSymbol::k00, OaqfmSymbol::k11};
+  // Weak signal: 1 mV swing still decodes.
+  const auto [va, vb] = waveforms_for(tx, 1e-3, 0.0);
+  const auto d = demodulate_downlink(va, vb, kFs, config());
+  EXPECT_EQ(d.symbols, tx);
+}
+
+TEST(DownlinkDemod, DeadPortDecodesAsAbsent) {
+  // Only tone A ever transmitted: port B's slicer must not fire on noise-free
+  // zeros (threshold guard).
+  const std::vector<OaqfmSymbol> tx{OaqfmSymbol::k10, OaqfmSymbol::k00, OaqfmSymbol::k10};
+  const auto [va, vb] = waveforms_for(tx);
+  const auto d = demodulate_downlink(va, vb, kFs, config());
+  EXPECT_EQ(d.symbols, tx);
+}
+
+TEST(DownlinkDemod, ToleratesPortImbalance) {
+  // Port B 10x weaker than port A (different beam gains) — still decodes.
+  const std::vector<OaqfmSymbol> tx{OaqfmSymbol::k11, OaqfmSymbol::k01, OaqfmSymbol::k10,
+                                    OaqfmSymbol::k00};
+  std::vector<double> va, vb;
+  for (const auto s : tx) {
+    const auto tones = core::downlink_tones(s);
+    va.insert(va.end(), kOversample, tones.tone_a ? 0.1 : 0.0);
+    vb.insert(vb.end(), kOversample, tones.tone_b ? 0.01 : 0.0);
+  }
+  const auto d = demodulate_downlink(va, vb, kFs, config());
+  EXPECT_EQ(d.symbols, tx);
+}
+
+TEST(DownlinkDemod, DecisionTracesExposed) {
+  const std::vector<OaqfmSymbol> tx{OaqfmSymbol::k11, OaqfmSymbol::k00};
+  const auto [va, vb] = waveforms_for(tx);
+  const auto d = demodulate_downlink(va, vb, kFs, config());
+  ASSERT_EQ(d.samples_a.size(), 2u);
+  EXPECT_GT(d.samples_a[0], d.samples_a[1]);
+}
+
+TEST(DownlinkDemod, OokFallbackDecodesBits) {
+  const std::vector<bool> bits{true, false, true, true, false};
+  std::vector<double> va, vb;
+  for (const bool b : bits) {
+    va.insert(va.end(), kOversample, b ? 0.05 : 0.0);
+    vb.insert(vb.end(), kOversample, b ? 0.04 : 0.0);  // same tone, both ports
+  }
+  const auto rx = demodulate_downlink_ook(va, vb, kFs, config());
+  EXPECT_EQ(rx, bits);
+}
+
+TEST(DownlinkDemod, OokPicksStrongerPort) {
+  const std::vector<bool> bits{true, false, true};
+  std::vector<double> weak, strong;
+  for (const bool b : bits) {
+    weak.insert(weak.end(), kOversample, 0.0);  // dead port
+    strong.insert(strong.end(), kOversample, b ? 0.05 : 0.0);
+  }
+  EXPECT_EQ(demodulate_downlink_ook(weak, strong, kFs, config()), bits);
+  EXPECT_EQ(demodulate_downlink_ook(strong, weak, kFs, config()), bits);
+}
+
+TEST(DownlinkDemod, EmptyInput) {
+  const auto d = demodulate_downlink({}, {}, kFs, config());
+  EXPECT_TRUE(d.symbols.empty());
+}
+
+}  // namespace
+}  // namespace milback::node

@@ -1,0 +1,137 @@
+// Statistical BER validation: the waveform-level demodulators must agree
+// with closed-form detection theory when the noise is controlled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milback/core/ber.hpp"
+#include "milback/core/oaqfm.hpp"
+#include "milback/node/downlink_demodulator.hpp"
+#include "milback/rf/envelope_detector.hpp"
+#include "milback/util/rng.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback {
+namespace {
+
+// Measures the downlink slicer's BER for a controlled voltage swing / noise
+// ratio and compares with the coherent-OOK prediction Q(swing / (2 sigma)).
+double measured_downlink_ber(double swing_over_sigma, std::size_t n_bits,
+                             std::uint64_t seed) {
+  const double symbol_rate = 1e6;
+  const std::size_t oversample = 8;
+  const double fs = symbol_rate * double(oversample);
+
+  // Detector with a video bandwidth far above the symbol rate so the video
+  // filter neither shapes the data nor correlates the noise, and a noise
+  // density chosen to hit the requested swing/sigma at the slicer.
+  rf::EnvelopeDetectorConfig cfg;
+  cfg.video_bandwidth_hz = fs;          // ENBW clamps to fs/2
+  const double p_on = 1e-6;             // incident power for a '1'
+  const double swing_v = cfg.responsivity_v_per_w * p_on;
+  const double sigma_v = swing_v / swing_over_sigma;
+  cfg.output_noise_v_per_rthz = sigma_v / std::sqrt(fs / 2.0);
+  cfg.max_output_v = 10.0 * swing_v;    // keep clipping out of the picture
+  const rf::EnvelopeDetector det{cfg};
+
+  Rng rng(seed);
+  Rng data(seed + 1);
+  const auto bits = data.bits(n_bits);
+
+  // Tone-A-only OOK stream on port A; port B dead.
+  std::vector<double> power_a;
+  power_a.reserve(bits.size() * oversample);
+  for (const bool b : bits) {
+    power_a.insert(power_a.end(), oversample, b ? p_on : 0.0);
+  }
+  const std::vector<double> power_b(power_a.size(), 0.0);
+
+  auto va = det.detect(power_a, fs, rng);
+  auto vb = det.detect(power_b, fs, rng);
+  node::DownlinkDemodConfig demod{.symbol_rate_hz = symbol_rate, .sample_point = 0.75,
+                                  .mode = core::ModulationMode::kOaqfm};
+  const auto decision = node::demodulate_downlink(va, vb, fs, demod);
+
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size() && i < decision.symbols.size(); ++i) {
+    const bool rx = core::downlink_tones(decision.symbols[i]).tone_a;
+    errors += rx != bits[i];
+  }
+  return double(errors) / double(n_bits);
+}
+
+TEST(BerValidation, DownlinkSlicerTracksQFunction) {
+  struct Point {
+    double swing_over_sigma;
+    std::uint64_t seed;
+  };
+  for (const auto& p : {Point{4.0, 1}, Point{5.0, 2}, Point{6.0, 3}}) {
+    // With the percentile-based slicer the threshold sits at the midpoint of
+    // the two symbol levels, so each side errs with probability ~Q(x/2)
+    // (the 0-side clamp at 0 V only reshapes the lower tail, which never
+    // crosses the threshold anyway).
+    const double q = core::q_function(p.swing_over_sigma / 2.0);
+    const double measured = measured_downlink_ber(p.swing_over_sigma, 60000, p.seed);
+    ASSERT_GT(measured, 0.0) << "need a measurable BER at x=" << p.swing_over_sigma;
+    EXPECT_NEAR(std::log10(measured), std::log10(q), 0.4)
+        << "swing/sigma = " << p.swing_over_sigma;
+  }
+}
+
+TEST(BerValidation, DownlinkBerMonotoneInSnr) {
+  const double b4 = measured_downlink_ber(4.0, 30000, 10);
+  const double b6 = measured_downlink_ber(6.0, 30000, 11);
+  EXPECT_GT(b4, b6);
+}
+
+TEST(BerValidation, CleanChannelZeroErrors) {
+  EXPECT_DOUBLE_EQ(measured_downlink_ber(1000.0, 5000, 12), 0.0);
+}
+
+}  // namespace
+}  // namespace milback
+
+#include "milback/core/link.hpp"
+
+namespace milback {
+namespace {
+
+TEST(BerValidation, UplinkSelfConsistency) {
+  // The uplink receiver reports a decision-statistic SNR (cluster
+  // separation^2 over pooled variance). For a Gaussian decision variable the
+  // implied BER is Q(sqrt(snr)/2); the measured BER over a long burst must
+  // agree within statistical slack at an operating point where errors are
+  // countable.
+  Rng env(1);
+  core::MilBackLink link(channel::BackscatterChannel::make_default(
+                             channel::Environment::indoor_office(env)),
+                         core::LinkConfig{});
+  Rng rng(31);
+  Rng data(32);
+  const auto bits = data.bits(60000);
+  // 40 Mbps at 13 m: a few-percent BER regime.
+  const auto run = link.run_uplink({13.0, 0.0, 15.0}, bits, rng, 40e6);
+  ASSERT_TRUE(run.carriers_ok);
+  ASSERT_GT(run.bit_errors, 20u) << "operating point should produce countable errors";
+  const double predicted =
+      core::q_function(std::sqrt(db2lin(run.measured_snr_db)) / 2.0);
+  EXPECT_NEAR(std::log10(run.ber), std::log10(predicted), 0.7)
+      << "measured snr " << run.measured_snr_db << " dB, measured ber " << run.ber;
+}
+
+TEST(BerValidation, UplinkBerMonotoneInDistance) {
+  Rng env(1);
+  core::MilBackLink link(channel::BackscatterChannel::make_default(
+                             channel::Environment::indoor_office(env)),
+                         core::LinkConfig{});
+  Rng r1(33), r2(34);
+  Rng data(35);
+  const auto bits = data.bits(20000);
+  const auto nearer = link.run_uplink({12.0, 0.0, 15.0}, bits, r1, 40e6);
+  const auto farther = link.run_uplink({16.0, 0.0, 15.0}, bits, r2, 40e6);
+  ASSERT_TRUE(nearer.carriers_ok && farther.carriers_ok);
+  EXPECT_LT(nearer.ber, farther.ber);
+}
+
+}  // namespace
+}  // namespace milback

@@ -1,0 +1,76 @@
+// Exhaustive Hamming(7,4) verification: every data block, every single-bit
+// corruption — 16 x 8 cases — plus codeword distance properties.
+#include <gtest/gtest.h>
+
+#include <bitset>
+
+#include "milback/core/fec.hpp"
+
+namespace milback::core {
+namespace {
+
+std::vector<bool> block_bits(unsigned value) {
+  std::vector<bool> bits(4);
+  for (unsigned i = 0; i < 4; ++i) bits[i] = (value >> (3 - i)) & 1;
+  return bits;
+}
+
+class AllBlocks : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AllBlocks, CleanDecode) {
+  const auto data = block_bits(GetParam());
+  const auto dec = hamming74_decode(hamming74_encode(data));
+  EXPECT_EQ(dec.corrected, 0u);
+  EXPECT_EQ(dec.data, data);
+}
+
+TEST_P(AllBlocks, EverySingleErrorCorrected) {
+  const auto data = block_bits(GetParam());
+  const auto coded = hamming74_encode(data);
+  for (std::size_t flip = 0; flip < 7; ++flip) {
+    auto corrupted = coded;
+    corrupted[flip] = !corrupted[flip];
+    const auto dec = hamming74_decode(corrupted);
+    EXPECT_EQ(dec.corrected, 1u) << "block " << GetParam() << " flip " << flip;
+    EXPECT_EQ(dec.data, data) << "block " << GetParam() << " flip " << flip;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exhaustive, AllBlocks, ::testing::Range(0u, 16u));
+
+TEST(HammingDistance, MinimumCodeDistanceIsThree) {
+  // All 16 codewords pairwise differ in >= 3 positions — the property that
+  // makes single-error correction possible.
+  std::vector<std::vector<bool>> codewords;
+  for (unsigned v = 0; v < 16; ++v) codewords.push_back(hamming74_encode(block_bits(v)));
+  int min_distance = 7;
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = a + 1; b < 16; ++b) {
+      int d = 0;
+      for (std::size_t i = 0; i < 7; ++i) d += codewords[a][i] != codewords[b][i];
+      min_distance = std::min(min_distance, d);
+    }
+  }
+  EXPECT_EQ(min_distance, 3);
+}
+
+TEST(HammingDistance, SyndromesDistinct) {
+  // Each single-bit error must produce a unique, nonzero syndrome — checked
+  // operationally: every flip is corrected back (AllBlocks covers this) and
+  // a clean word reports zero corrections. Here verify the complementary
+  // property: every double error is MIS-corrected to a valid codeword,
+  // i.e. corrected == 1 (the decoder cannot tell 2 errors from 1).
+  const auto coded = hamming74_encode(block_bits(0b1010));
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = i + 1; j < 7; ++j) {
+      auto corrupted = coded;
+      corrupted[i] = !corrupted[i];
+      corrupted[j] = !corrupted[j];
+      const auto dec = hamming74_decode(corrupted);
+      EXPECT_EQ(dec.corrected, 1u) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace milback::core

@@ -1,0 +1,115 @@
+// Property sweeps over FSA design variants: the scan law, mirror symmetry
+// and inverse lookups must hold for ANY sane configuration, not just the
+// paper's 12-element / m=5 design.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milback/antenna/fsa.hpp"
+
+namespace milback::antenna {
+namespace {
+
+struct FsaVariant {
+  std::size_t n_elements;
+  int mode_number;
+  double center_ghz;
+};
+
+class FsaVariants : public ::testing::TestWithParam<FsaVariant> {
+ protected:
+  FsaConfig make_config() const {
+    FsaConfig cfg;
+    cfg.n_elements = GetParam().n_elements;
+    cfg.mode_number = GetParam().mode_number;
+    cfg.center_frequency_hz = GetParam().center_ghz * 1e9;
+    cfg.min_frequency_hz = cfg.center_frequency_hz - 1.5e9;
+    cfg.max_frequency_hz = cfg.center_frequency_hz + 1.5e9;
+    return cfg;
+  }
+};
+
+TEST_P(FsaVariants, BroadsideAtCenter) {
+  DualPortFsa fsa{make_config()};
+  const auto theta = fsa.beam_angle_deg(FsaPort::kA, GetParam().center_ghz * 1e9);
+  ASSERT_TRUE(theta.has_value());
+  EXPECT_NEAR(*theta, 0.0, 1e-9);
+}
+
+TEST_P(FsaVariants, MirrorSymmetryEverywhere) {
+  DualPortFsa fsa{make_config()};
+  const auto& cfg = fsa.config();
+  for (double f = cfg.min_frequency_hz; f <= cfg.max_frequency_hz; f += 0.2e9) {
+    const auto a = fsa.beam_angle_deg(FsaPort::kA, f);
+    const auto b = fsa.beam_angle_deg(FsaPort::kB, f);
+    if (a && b) {
+      EXPECT_NEAR(*a, -*b, 1e-9);
+    }
+  }
+}
+
+TEST_P(FsaVariants, ScanMonotoneAndInverseConsistent) {
+  DualPortFsa fsa{make_config()};
+  const auto& cfg = fsa.config();
+  double prev = -1e9;
+  for (double f = cfg.min_frequency_hz; f <= cfg.max_frequency_hz; f += 0.1e9) {
+    const auto theta = fsa.beam_angle_deg(FsaPort::kA, f);
+    if (!theta) continue;
+    EXPECT_GT(*theta, prev);
+    prev = *theta;
+    const auto back = fsa.beam_frequency_hz(FsaPort::kA, *theta);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_NEAR(*back, f, 1e4);
+  }
+}
+
+TEST_P(FsaVariants, HigherModeScansFasterPerHz) {
+  // d(sin theta)/df = 2m/fc: mode number sets the scan rate.
+  auto cfg = make_config();
+  DualPortFsa fsa{cfg};
+  cfg.mode_number += 2;
+  DualPortFsa faster{cfg};
+  const double f1 = cfg.center_frequency_hz + 0.5e9;
+  const auto t_slow = fsa.beam_angle_deg(FsaPort::kA, f1);
+  const auto t_fast = faster.beam_angle_deg(FsaPort::kA, f1);
+  if (t_slow && t_fast) {
+    EXPECT_GT(*t_fast, *t_slow);
+  }
+}
+
+TEST_P(FsaVariants, GainBoundedByAperture) {
+  DualPortFsa fsa{make_config()};
+  // Peak gain cannot exceed directivity + element gain (efficiency <= 1).
+  const double upper = 10.0 * std::log10(double(GetParam().n_elements)) +
+                       fsa.config().element_gain_dbi + 0.01;
+  for (double f = fsa.config().min_frequency_hz; f <= fsa.config().max_frequency_hz;
+       f += 0.25e9) {
+    for (double theta = -40.0; theta <= 40.0; theta += 5.0) {
+      EXPECT_LE(fsa.gain_dbi(FsaPort::kA, f, theta), upper);
+    }
+  }
+}
+
+TEST_P(FsaVariants, MoreElementsNarrowerBeam) {
+  auto cfg = make_config();
+  DualPortFsa small{cfg};
+  cfg.n_elements *= 2;
+  DualPortFsa large{cfg};
+  EXPECT_LT(large.beamwidth_deg(cfg.center_frequency_hz),
+            small.beamwidth_deg(cfg.center_frequency_hz));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, FsaVariants,
+    ::testing::Values(FsaVariant{8, 4, 28.0}, FsaVariant{12, 5, 28.0},
+                      FsaVariant{16, 5, 28.0}, FsaVariant{12, 6, 28.0},
+                      FsaVariant{24, 5, 28.0}, FsaVariant{12, 5, 60.0},
+                      FsaVariant{10, 3, 24.0}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n_elements) + "_m" +
+             std::to_string(info.param.mode_number) + "_f" +
+             std::to_string(int(info.param.center_ghz));
+    });
+
+}  // namespace
+}  // namespace milback::antenna

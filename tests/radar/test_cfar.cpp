@@ -1,0 +1,109 @@
+// CA-CFAR detector tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milback/radar/background_subtraction.hpp"
+#include "milback/radar/beat_synthesis.hpp"
+#include "milback/radar/cfar.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::radar {
+namespace {
+
+struct Burst {
+  std::vector<RangeSpectrum> spectra;
+  SubtractionResult sub;
+};
+
+Burst modulated_burst(const std::vector<double>& ranges, double noise_w,
+                      std::uint64_t seed = 3) {
+  const auto chirp = field2_chirp();
+  const double fs = 50e6;
+  const std::size_t n = samples_per_chirp(chirp, fs);
+  Rng rng(seed);
+  Burst b;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<PathContribution> paths;
+    for (std::size_t k = 0; k < ranges.size(); ++k) {
+      paths.push_back({.delay_s = 2.0 * ranges[k] / kSpeedOfLight,
+                       .amplitude = (i % 2 == 0) ? 1e-4 / double(k + 1) : 1e-5});
+    }
+    const auto beat = synthesize_beat(paths, chirp, fs, n, noise_w, rng);
+    b.spectra.push_back(range_fft(beat, fs, chirp));
+  }
+  b.sub = background_subtract(b.spectra);
+  return b;
+}
+
+TEST(Cfar, ThresholdFollowsLocalFloor) {
+  // Statistic with a step in the noise floor: the threshold must step too.
+  std::vector<double> stat(200, 1.0);
+  for (std::size_t i = 100; i < 200; ++i) stat[i] = 10.0;
+  CfarConfig cfg;
+  const auto thr = cfar_threshold(stat, cfg);
+  ASSERT_EQ(thr.size(), stat.size());
+  EXPECT_NEAR(thr[50], cfg.threshold_factor * 1.0, 0.2);
+  EXPECT_NEAR(thr[150], cfg.threshold_factor * 10.0, 2.0);
+}
+
+TEST(Cfar, EmptyStatistic) {
+  EXPECT_TRUE(cfar_threshold({}, {}).empty());
+}
+
+TEST(Cfar, DetectsTargetInNoise) {
+  const auto b = modulated_burst({3.5}, 1e-12);
+  const auto dets = cfar_detect(b.sub, b.spectra.front());
+  ASSERT_FALSE(dets.empty());
+  EXPECT_NEAR(dets.front().range_m, 3.5, 0.06);
+}
+
+TEST(Cfar, NoFalseAlarmsInPureNoise) {
+  const auto chirp = field2_chirp();
+  const double fs = 50e6;
+  const std::size_t n = samples_per_chirp(chirp, fs);
+  Rng rng(9);
+  std::vector<RangeSpectrum> spectra;
+  for (int i = 0; i < 5; ++i) {
+    const auto beat = synthesize_beat({}, chirp, fs, n, 1e-12, rng);
+    spectra.push_back(range_fft(beat, fs, chirp));
+  }
+  const auto sub = background_subtract(spectra);
+  CfarConfig cfg;
+  cfg.threshold_factor = 8.0;
+  const auto dets = cfar_detect(sub, spectra.front(), cfg);
+  EXPECT_LE(dets.size(), 1u);  // at most a stray fluctuation
+}
+
+TEST(Cfar, SeparatesTwoTargets) {
+  const auto b = modulated_burst({2.0, 5.0}, 1e-13);
+  const auto dets = cfar_detect(b.sub, b.spectra.front());
+  ASSERT_GE(dets.size(), 2u);
+  EXPECT_NEAR(dets[0].range_m, 2.0, 0.1);
+  EXPECT_NEAR(dets[1].range_m, 5.0, 0.1);
+}
+
+TEST(Cfar, RangeGateRespected) {
+  const auto b = modulated_burst({3.0}, 0.0);
+  CfarConfig cfg;
+  cfg.min_range_m = 4.0;
+  const auto dets = cfar_detect(b.sub, b.spectra.front(), cfg);
+  for (const auto& d : dets) EXPECT_GT(d.range_m, 3.9);
+}
+
+TEST(Cfar, MaxDetectionsRespected) {
+  const auto b = modulated_burst({1.5, 3.0, 4.5, 6.0}, 0.0);
+  EXPECT_LE(cfar_detect(b.sub, b.spectra.front(), {}, 2).size(), 2u);
+}
+
+TEST(Cfar, AgreesWithMedianDetectorOnEasyTarget) {
+  const auto b = modulated_burst({4.2}, 1e-13);
+  const auto cfar = cfar_detect(b.sub, b.spectra.front());
+  const auto med = detect_all(b.sub, b.spectra.front());
+  ASSERT_FALSE(cfar.empty());
+  ASSERT_FALSE(med.empty());
+  EXPECT_NEAR(cfar.front().range_m, med.front().range_m, 0.02);
+}
+
+}  // namespace
+}  // namespace milback::radar

@@ -1,0 +1,110 @@
+// Range estimator tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milback/radar/background_subtraction.hpp"
+#include "milback/radar/beat_synthesis.hpp"
+#include "milback/radar/range_estimator.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::radar {
+namespace {
+
+struct Burst {
+  std::vector<RangeSpectrum> spectra;
+  SubtractionResult sub;
+};
+
+Burst make_modulated_burst(const std::vector<double>& node_ranges, double noise_w,
+                           std::uint64_t seed = 21) {
+  const auto chirp = field2_chirp();
+  const double fs = 50e6;
+  const std::size_t n = samples_per_chirp(chirp, fs);
+  Rng rng(seed);
+  Burst burst;
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::vector<PathContribution> paths;
+    for (std::size_t k = 0; k < node_ranges.size(); ++k) {
+      paths.push_back({.delay_s = 2.0 * node_ranges[k] / kSpeedOfLight,
+                       .amplitude = (i % 2 == 0) ? 1e-4 / double(k + 1) : 1e-5});
+    }
+    paths.push_back({.delay_s = 2.0 * 6.5 / kSpeedOfLight, .amplitude = 5e-3});
+    const auto beat = synthesize_beat(paths, chirp, fs, n, noise_w, rng);
+    burst.spectra.push_back(range_fft(beat, fs, chirp));
+  }
+  burst.sub = background_subtract(burst.spectra);
+  return burst;
+}
+
+TEST(RangeEstimator, FindsNodeThroughClutter) {
+  const auto burst = make_modulated_burst({3.2}, 1e-12);
+  const auto det = estimate_range(burst.sub, burst.spectra.front());
+  ASSERT_TRUE(det.has_value());
+  EXPECT_NEAR(det->range_m, 3.2, 0.05);
+  EXPECT_GT(det->snr_db, 10.0);
+}
+
+TEST(RangeEstimator, SubBinInterpolation) {
+  // Range chosen off the 5 cm grid; interpolation should get closer than
+  // half a bin.
+  const auto burst = make_modulated_burst({4.13}, 0.0);
+  const auto det = estimate_range(burst.sub, burst.spectra.front());
+  ASSERT_TRUE(det.has_value());
+  EXPECT_NEAR(det->range_m, 4.13, 0.025);
+}
+
+TEST(RangeEstimator, NothingDetectedInPureNoise) {
+  const auto chirp = field2_chirp();
+  const double fs = 50e6;
+  const std::size_t n = samples_per_chirp(chirp, fs);
+  Rng rng(5);
+  std::vector<RangeSpectrum> spectra;
+  for (int i = 0; i < 5; ++i) {
+    const auto beat = synthesize_beat({}, chirp, fs, n, 1e-12, rng);
+    spectra.push_back(range_fft(beat, fs, chirp));
+  }
+  const auto sub = background_subtract(spectra);
+  RangeEstimatorConfig cfg;
+  cfg.detection_threshold_over_median = 8.0;
+  EXPECT_FALSE(estimate_range(sub, spectra.front(), cfg).has_value());
+}
+
+TEST(RangeEstimator, RangeGateExcludesOutOfBounds) {
+  const auto burst = make_modulated_burst({3.0}, 0.0);
+  RangeEstimatorConfig cfg;
+  cfg.min_range_m = 4.0;  // gate the node out
+  cfg.max_range_m = 6.0;
+  const auto det = estimate_range(burst.sub, burst.spectra.front(), cfg);
+  if (det) {
+    EXPECT_GT(det->range_m, 4.0);
+  }
+}
+
+TEST(RangeEstimator, MultiNodeDetection) {
+  const auto burst = make_modulated_burst({2.0, 4.5}, 1e-13);
+  const auto all = detect_all(burst.sub, burst.spectra.front(), {}, 4);
+  ASSERT_GE(all.size(), 2u);
+  // Strongest first (the 2.0 m node has twice the amplitude).
+  EXPECT_NEAR(all[0].range_m, 2.0, 0.1);
+  EXPECT_NEAR(all[1].range_m, 4.5, 0.1);
+  EXPECT_GE(all[0].magnitude, all[1].magnitude);
+}
+
+TEST(RangeEstimator, MaxDetectionsRespected) {
+  const auto burst = make_modulated_burst({1.5, 3.0, 4.5, 6.0}, 0.0);
+  const auto all = detect_all(burst.sub, burst.spectra.front(), {}, 2);
+  EXPECT_LE(all.size(), 2u);
+}
+
+TEST(RangeEstimator, EmptyStatistic) {
+  SubtractionResult sub;
+  RangeSpectrum ref;
+  ref.bins.resize(16);
+  ref.fs = 50e6;
+  ref.slope_hz_per_s = 1e14;
+  EXPECT_FALSE(estimate_range(sub, ref).has_value());
+}
+
+}  // namespace
+}  // namespace milback::radar

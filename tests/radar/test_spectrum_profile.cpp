@@ -1,0 +1,92 @@
+// Reflected-power-vs-frequency profiling tests (orientation at AP).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milback/radar/background_subtraction.hpp"
+#include "milback/radar/beat_synthesis.hpp"
+#include "milback/radar/spectrum_profile.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::radar {
+namespace {
+
+// Builds a 5-chirp modulated burst whose within-chirp envelope is a Gaussian
+// hump centered where the sweep crosses `f_hump`.
+SubtractionResult humped_burst(double f_hump, double hump_width_hz, double fs,
+                               const ChirpConfig& chirp) {
+  const std::size_t n = samples_per_chirp(chirp, fs);
+  std::vector<double> env(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = chirp.frequency_at(double(i) / fs);
+    const double d = (f - f_hump) / hump_width_hz;
+    env[i] = std::exp(-d * d);
+  }
+  Rng rng(3);
+  std::vector<RangeSpectrum> spectra;
+  for (int i = 0; i < 5; ++i) {
+    PathContribution p{.delay_s = 2.0 * 2.0 / kSpeedOfLight,
+                       .amplitude = (i % 2 == 0) ? 1e-4 : 1e-5};
+    p.envelope = env;
+    const auto beat = synthesize_beat({p}, chirp, fs, n, 1e-14, rng);
+    spectra.push_back(range_fft(beat, fs, chirp, {.window = dsp::WindowType::kRectangular}));
+  }
+  return background_subtract(spectra);
+}
+
+TEST(SpectrumProfile, PeakRecoversHumpFrequency) {
+  const auto chirp = field2_chirp();
+  const double fs = 50e6;
+  for (double f_hump : {27.0e9, 28.0e9, 29.0e9}) {
+    const auto sub = humped_burst(f_hump, 250e6, fs, chirp);
+    const auto profile = reflected_power_profile(sub.first_difference, fs, chirp);
+    const auto peak = profile.peak_frequency_hz();
+    ASSERT_TRUE(peak.has_value());
+    EXPECT_NEAR(*peak, f_hump, 60e6) << "hump at " << f_hump;
+  }
+}
+
+TEST(SpectrumProfile, AxesSpanTheSweep) {
+  const auto chirp = field2_chirp();
+  const auto sub = humped_burst(28e9, 250e6, 50e6, chirp);
+  const auto profile = reflected_power_profile(sub.first_difference, 50e6, chirp);
+  ASSERT_FALSE(profile.frequency_hz.empty());
+  EXPECT_GE(profile.frequency_hz.front(), chirp.start_frequency_hz);
+  EXPECT_LE(profile.frequency_hz.back(), chirp.end_frequency_hz());
+  EXPECT_EQ(profile.frequency_hz.size(), profile.power.size());
+}
+
+TEST(SpectrumProfile, BinCountConfigurable) {
+  const auto chirp = field2_chirp();
+  const auto sub = humped_burst(28e9, 250e6, 50e6, chirp);
+  ProfileConfig cfg;
+  cfg.n_bins = 48;
+  const auto profile = reflected_power_profile(sub.first_difference, 50e6, chirp, cfg);
+  EXPECT_EQ(profile.power.size(), 48u);
+}
+
+TEST(SpectrumProfile, EmptyInputsHandled) {
+  const auto chirp = field2_chirp();
+  const auto profile = reflected_power_profile({}, 50e6, chirp);
+  EXPECT_TRUE(profile.power.empty());
+  EXPECT_FALSE(profile.peak_frequency_hz().has_value());
+}
+
+TEST(SpectrumProfile, FlatZeroProfileHasNoPeak) {
+  FrequencyProfile p;
+  p.frequency_hz = {1.0, 2.0, 3.0};
+  p.power = {0.0, 0.0, 0.0};
+  EXPECT_FALSE(p.peak_frequency_hz().has_value());
+}
+
+TEST(SpectrumProfile, WiderHumpStillCentered) {
+  const auto chirp = field2_chirp();
+  const auto sub = humped_burst(27.8e9, 600e6, 50e6, chirp);
+  const auto profile = reflected_power_profile(sub.first_difference, 50e6, chirp);
+  const auto peak = profile.peak_frequency_hz();
+  ASSERT_TRUE(peak.has_value());
+  EXPECT_NEAR(*peak, 27.8e9, 100e6);
+}
+
+}  // namespace
+}  // namespace milback::radar

@@ -1,0 +1,68 @@
+// Amplifier (LNA/PA) model tests.
+#include <gtest/gtest.h>
+
+#include "milback/rf/amplifier.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::rf {
+namespace {
+
+TEST(Amplifier, LinearRegionAppliesGain) {
+  Amplifier amp{AmplifierConfig{.gain_db = 20.0, .noise_figure_db = 3.0}};
+  EXPECT_NEAR(amp.output_power_dbm(-50.0), -30.0, 1e-9);
+  EXPECT_NEAR(amp.compression_db(-50.0), 0.0, 1e-9);
+}
+
+TEST(Amplifier, RejectsNegativeNoiseFigure) {
+  EXPECT_THROW(Amplifier(AmplifierConfig{.gain_db = 10.0, .noise_figure_db = -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Amplifier, CompressionNearP1dB) {
+  Amplifier amp{AmplifierConfig{.gain_db = 30.0, .noise_figure_db = 5.0,
+                                .p1db_out_dbm = 28.0}};
+  // Drive so linear output would be exactly P1dB: compression ~ 1 dB.
+  const double in_p1 = 28.0 - 30.0;
+  EXPECT_NEAR(amp.compression_db(in_p1), 1.0, 0.35);
+  // Well below P1dB: linear.
+  EXPECT_NEAR(amp.compression_db(in_p1 - 20.0), 0.0, 0.05);
+}
+
+TEST(Amplifier, SaturatesWhenOverdriven) {
+  Amplifier amp{AmplifierConfig{.gain_db = 30.0, .noise_figure_db = 5.0,
+                                .p1db_out_dbm = 28.0}};
+  const double heavy = amp.output_power_dbm(10.0);   // linear would be 40 dBm
+  const double heavier = amp.output_power_dbm(20.0); // linear would be 50 dBm
+  EXPECT_LT(heavy, 30.0);
+  EXPECT_LT(heavier - heavy, 1.0);  // deep saturation: flat output
+}
+
+TEST(Amplifier, OutputMonotonicInInput) {
+  Amplifier amp{AmplifierConfig{.gain_db = 30.0, .noise_figure_db = 5.0,
+                                .p1db_out_dbm = 28.0}};
+  double prev = -1e9;
+  for (double in = -60.0; in <= 20.0; in += 1.0) {
+    const double out = amp.output_power_dbm(in);
+    EXPECT_GT(out, prev);
+    prev = out;
+  }
+}
+
+TEST(Amplifier, NoiseTemperature) {
+  Amplifier amp{AmplifierConfig{.gain_db = 20.0, .noise_figure_db = 3.0}};
+  // NF 3 dB -> Te ~ 290 K.
+  EXPECT_NEAR(amp.noise_temperature_k(), 290.0, 3.0);
+  Amplifier ideal{AmplifierConfig{.gain_db = 20.0, .noise_figure_db = 0.0}};
+  EXPECT_NEAR(ideal.noise_temperature_k(), 0.0, 1e-9);
+}
+
+TEST(Amplifier, DefaultFactories) {
+  const auto lna = make_default_lna();
+  EXPECT_NEAR(lna.gain_db(), 20.0, 1e-9);
+  EXPECT_LT(lna.noise_figure_db(), 5.0);
+  const auto pa = make_default_pa();
+  EXPECT_GT(pa.config().p1db_out_dbm, 27.0);  // can deliver the paper's 27 dBm
+}
+
+}  // namespace
+}  // namespace milback::rf

@@ -1,0 +1,96 @@
+// Band-pass filter stage tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milback/dsp/goertzel.hpp"
+#include "milback/rf/filter_stage.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::rf {
+namespace {
+
+TEST(BandPass, RejectsBadEdges) {
+  EXPECT_THROW(BandPassFilter(BandPassConfig{.f_low_hz = 10.0, .f_high_hz = 5.0}),
+               std::invalid_argument);
+  EXPECT_THROW(BandPassFilter(BandPassConfig{.f_low_hz = 0.0, .f_high_hz = 5.0}),
+               std::invalid_argument);
+  EXPECT_THROW(BandPassFilter(BandPassConfig{.f_low_hz = 1.0, .f_high_hz = 5.0,
+                                             .insertion_loss_db = 1.0, .order = 0}),
+               std::invalid_argument);
+}
+
+TEST(BandPass, MidbandHasOnlyInsertionLoss) {
+  BandPassFilter bpf{BandPassConfig{.f_low_hz = 1e5, .f_high_hz = 1e8,
+                                    .insertion_loss_db = 1.0, .order = 4}};
+  const double mid = std::sqrt(1e5 * 1e8);
+  EXPECT_NEAR(bpf.attenuation_db(mid), 1.0, 0.1);
+}
+
+TEST(BandPass, DcStronglyRejected) {
+  BandPassFilter bpf{BandPassConfig{}};
+  // The self-interference product lands at DC; the paper's BPF exists to
+  // kill it.
+  EXPECT_GT(bpf.attenuation_db(0.0), 60.0);
+  EXPECT_GT(bpf.attenuation_db(1.0), 60.0);
+}
+
+TEST(BandPass, EdgesAreNear3dB) {
+  BandPassFilter bpf{BandPassConfig{.f_low_hz = 1e5, .f_high_hz = 1e8,
+                                    .insertion_loss_db = 0.0, .order = 4}};
+  EXPECT_NEAR(bpf.attenuation_db(1e5), 3.0, 0.3);
+  EXPECT_NEAR(bpf.attenuation_db(1e8), 3.0, 0.3);
+}
+
+TEST(BandPass, MonotoneRolloffBeyondEdges) {
+  BandPassFilter bpf{BandPassConfig{}};
+  EXPECT_GT(bpf.attenuation_db(1e4), bpf.attenuation_db(1e5));
+  EXPECT_GT(bpf.attenuation_db(1e9), bpf.attenuation_db(1e8));
+}
+
+TEST(BandPass, NegativeFrequencySymmetric) {
+  BandPassFilter bpf{BandPassConfig{}};
+  EXPECT_DOUBLE_EQ(bpf.attenuation_db(-1e6), bpf.attenuation_db(1e6));
+}
+
+TEST(BandPass, PowerGainConsistentWithAttenuation) {
+  BandPassFilter bpf{BandPassConfig{}};
+  const double f = 1e6;
+  EXPECT_NEAR(lin2db(bpf.power_gain(f)), -bpf.attenuation_db(f), 1e-9);
+}
+
+TEST(BandPass, SampledApplyRemovesDcKeepsTone) {
+  BandPassFilter bpf{BandPassConfig{.f_low_hz = 1e5, .f_high_hz = 2e6,
+                                    .insertion_loss_db = 0.0, .order = 4}};
+  const double fs = 10e6;
+  std::vector<double> x(8192);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 5.0 + std::cos(2.0 * kPi * 1e6 * double(i) / fs);  // DC + 1 MHz tone
+  }
+  const auto y = bpf.apply(x, fs, 257);
+  EXPECT_NEAR(dsp::tone_power(y, 1e6, fs), 1.0, 0.1);
+  // DC (mean) strongly suppressed.
+  double mean = 0.0;
+  for (const double v : y) mean += v;
+  mean /= double(y.size());
+  EXPECT_LT(std::abs(mean), 0.05);
+}
+
+TEST(BandPass, ComplexApplyMatchesRealOnRealInput) {
+  BandPassFilter bpf{BandPassConfig{.f_low_hz = 1e5, .f_high_hz = 2e6,
+                                    .insertion_loss_db = 0.0, .order = 4}};
+  const double fs = 10e6;
+  std::vector<double> xr(512);
+  for (std::size_t i = 0; i < xr.size(); ++i) {
+    xr[i] = std::cos(2.0 * kPi * 1e6 * double(i) / fs);
+  }
+  std::vector<std::complex<double>> xc(xr.begin(), xr.end());
+  const auto yr = bpf.apply(xr, fs, 129);
+  const auto yc = bpf.apply(xc, fs, 129);
+  for (std::size_t i = 0; i < yr.size(); ++i) {
+    EXPECT_NEAR(yc[i].real(), yr[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace milback::rf

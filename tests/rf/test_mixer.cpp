@@ -1,0 +1,53 @@
+// Mixer model tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milback/dsp/goertzel.hpp"
+#include "milback/rf/mixer.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback::rf {
+namespace {
+
+TEST(Mixer, ConversionLossAppliesToPower) {
+  Mixer mixer{MixerConfig{.conversion_loss_db = 9.0, .lo_leakage_db = -300.0}};
+  EXPECT_NEAR(mixer.if_power_dbm(-40.0), -49.0, 1e-9);
+  EXPECT_NEAR(amp2db(mixer.amplitude_scale()), -9.0, 1e-9);
+}
+
+TEST(Mixer, DownconvertShiftsFrequency) {
+  Mixer mixer{MixerConfig{.conversion_loss_db = 0.0, .lo_leakage_db = -300.0}};
+  const double fs = 100e6;
+  const std::size_t n = 4096;
+  // Input tone at +10 MHz relative to reference.
+  std::vector<std::complex<double>> rf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = 2.0 * kPi * 10e6 * double(i) / fs;
+    rf[i] = {std::cos(ph), std::sin(ph)};
+  }
+  // LO offset +8 MHz -> IF should land at +2 MHz.
+  const auto ifout = mixer.downconvert(rf, 8e6, fs, -300.0);
+  EXPECT_GT(std::abs(dsp::goertzel(ifout, 2e6, fs)), 0.9 * double(n));
+  EXPECT_LT(std::abs(dsp::goertzel(ifout, 10e6, fs)), 0.05 * double(n));
+}
+
+TEST(Mixer, LoLeakageAddsDc) {
+  Mixer mixer{MixerConfig{.conversion_loss_db = 0.0, .lo_leakage_db = -30.0}};
+  std::vector<std::complex<double>> rf(1024, {0.0, 0.0});
+  const auto out = mixer.downconvert(rf, 0.0, 1e6, 10.0);  // 10 dBm LO drive
+  // Expected DC amplitude: sqrt of (10 - 30) dBm.
+  const double expected = std::sqrt(dbm2watt(-20.0));
+  EXPECT_NEAR(out[0].real(), expected, expected * 1e-9);
+  EXPECT_NEAR(out[0].imag(), 0.0, 1e-12);
+}
+
+TEST(Mixer, ConversionLossScalesWaveform) {
+  Mixer mixer{MixerConfig{.conversion_loss_db = 6.0, .lo_leakage_db = -300.0}};
+  std::vector<std::complex<double>> rf(16, {1.0, 0.0});
+  const auto out = mixer.downconvert(rf, 0.0, 1e6, -300.0);
+  EXPECT_NEAR(std::abs(out[0]), db2amp(-6.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace milback::rf

@@ -1,0 +1,83 @@
+// Waveform generator model tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milback/dsp/signal_ops.hpp"
+#include "milback/rf/waveform.hpp"
+
+namespace milback::rf {
+namespace {
+
+TEST(WaveformGenerator, DefaultsMatchPaperBandPlan) {
+  WaveformGenerator gen{WaveformGeneratorConfig{}};
+  EXPECT_DOUBLE_EQ(gen.band_hz(), 3e9);
+  EXPECT_DOUBLE_EQ(gen.center_frequency_hz(), 28e9);
+}
+
+TEST(WaveformGenerator, RejectsEmptyBand) {
+  WaveformGeneratorConfig cfg;
+  cfg.min_frequency_hz = 29e9;
+  cfg.max_frequency_hz = 28e9;
+  EXPECT_THROW(WaveformGenerator{cfg}, std::invalid_argument);
+}
+
+TEST(WaveformGenerator, PaperPatchesTwoSegmentsForFullSweep) {
+  // "The maximum bandwidth of our signal generator is 2 GHz. We transmitted
+  // two 2 GHz chirps ... and patch the results together."
+  WaveformGenerator gen{WaveformGeneratorConfig{}};
+  EXPECT_EQ(gen.segments_for_bandwidth(3e9), 2u);
+  EXPECT_EQ(gen.segments_for_bandwidth(2e9), 1u);
+  EXPECT_EQ(gen.segments_for_bandwidth(0.5e9), 1u);
+}
+
+TEST(WaveformGenerator, SegmentsRejectsBadBandwidth) {
+  WaveformGenerator gen{WaveformGeneratorConfig{}};
+  EXPECT_THROW(gen.segments_for_bandwidth(0.0), std::invalid_argument);
+  EXPECT_THROW(gen.segments_for_bandwidth(4e9), std::invalid_argument);
+}
+
+TEST(WaveformGenerator, TwoToneSplitsPower) {
+  WaveformGenerator gen{WaveformGeneratorConfig{}};
+  const auto s = gen.make_two_tone(27.5e9, 28.5e9);
+  EXPECT_DOUBLE_EQ(s.tone_a.frequency_hz, 27.5e9);
+  EXPECT_DOUBLE_EQ(s.tone_b.frequency_hz, 28.5e9);
+  // 27 dBm total -> 24 dBm per tone.
+  EXPECT_NEAR(s.tone_a.power_dbm, 24.0, 1e-9);
+  EXPECT_NEAR(s.tone_b.power_dbm, 24.0, 1e-9);
+}
+
+TEST(WaveformGenerator, TwoToneOutOfBandThrows) {
+  WaveformGenerator gen{WaveformGeneratorConfig{}};
+  EXPECT_THROW(gen.make_two_tone(25e9, 28e9), std::invalid_argument);
+  EXPECT_THROW(gen.make_two_tone(27e9, 30e9), std::invalid_argument);
+}
+
+TEST(WaveformGenerator, DegenerateDetection) {
+  WaveformGenerator gen{WaveformGeneratorConfig{}};
+  auto s = gen.make_two_tone(27.99e9, 28.01e9);
+  EXPECT_TRUE(s.degenerate(100e6));
+  EXPECT_FALSE(s.degenerate(1e6));
+}
+
+TEST(WaveformGenerator, ToneBasebandPowerMatches) {
+  WaveformGenerator gen{WaveformGeneratorConfig{}};
+  auto s = gen.make_two_tone(27.5e9, 28.5e9);
+  s.tone_b.enabled = false;
+  const double fs = 4e9;
+  const auto bb = gen.tone_baseband(s, 27.5e9, fs, 4096);
+  // Single tone at DC: power = tone power in watts.
+  EXPECT_NEAR(dsp::signal_power(bb), dbm2watt(24.0), dbm2watt(24.0) * 0.01);
+}
+
+TEST(WaveformGenerator, DisabledTonesProduceSilence) {
+  WaveformGenerator gen{WaveformGeneratorConfig{}};
+  auto s = gen.make_two_tone(27.5e9, 28.5e9);
+  s.tone_a.enabled = false;
+  s.tone_b.enabled = false;
+  const auto bb = gen.tone_baseband(s, 28e9, 1e9, 128);
+  EXPECT_DOUBLE_EQ(dsp::signal_power(bb), 0.0);
+}
+
+}  // namespace
+}  // namespace milback::rf

@@ -1,0 +1,111 @@
+// Deterministic RNG tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milback/util/rng.hpp"
+#include "milback/util/stats.hpp"
+#include "milback/util/units.hpp"
+
+namespace milback {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(5);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.gaussian(1.5, 2.0);
+  EXPECT_NEAR(mean(xs), 1.5, 0.06);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.06);
+}
+
+TEST(Rng, ComplexGaussianVariance) {
+  Rng rng(6);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += std::norm(rng.complex_gaussian(3.0));
+  EXPECT_NEAR(acc / n, 3.0, 0.12);
+}
+
+TEST(Rng, BitsAreBalanced) {
+  Rng rng(8);
+  const auto bits = rng.bits(10000);
+  std::size_t ones = 0;
+  for (const bool b : bits) ones += b;
+  EXPECT_NEAR(double(ones) / double(bits.size()), 0.5, 0.03);
+}
+
+TEST(Rng, PhaseInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double p = rng.phase();
+    EXPECT_GE(p, -kPi);
+    EXPECT_LT(p, kPi);
+  }
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(10);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.uniform(0.0, 1.0) == c2.uniform(0.0, 1.0)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministicGivenParentState) {
+  Rng p1(11), p2(11);
+  Rng c1 = p1.fork(42);
+  Rng c2 = p2.fork(42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(c1.uniform(0.0, 1.0), c2.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DefaultSeedIsFixed) {
+  Rng a, b;
+  EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace milback

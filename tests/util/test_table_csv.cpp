@@ -1,0 +1,75 @@
+// Table formatting and CSV writer tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "milback/util/csv.hpp"
+#include "milback/util/table.hpp"
+
+namespace milback {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "longheader"});
+  t.add_row({"xxxx", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("longheader"), std::string::npos);
+  EXPECT_NE(out.find("xxxx"), std::string::npos);
+  // Header line and data line should have equal length (fixed-width cells).
+  std::istringstream is(out);
+  std::string header, rule, row;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row);
+  EXPECT_EQ(header.size() > 0, true);
+  EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t({"a", "b"});
+  t.add_row({"1"});
+  t.add_row({"1", "2", "3"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_NE(os.str().find("3"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(-1.0, 0), "-1");
+  EXPECT_EQ(Table::sci(0.00021, 1), "2.1e-04");
+}
+
+TEST(Csv, DisabledWhenDirEmpty) {
+  CsvWriter w("", "test", {"x"});
+  EXPECT_FALSE(w.active());
+  w.row({1.0});  // must not crash
+}
+
+TEST(Csv, WritesRows) {
+  const std::string dir = ::testing::TempDir();
+  {
+    CsvWriter w(dir, "milback_csv_test", {"x", "y"});
+    ASSERT_TRUE(w.active());
+    w.row({1.0, 2.5});
+    w.row_strings({"a", "b"});
+  }
+  std::ifstream in(dir + "/milback_csv_test.csv");
+  ASSERT_TRUE(in.is_open());
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "x,y");
+  EXPECT_EQ(l2, "1,2.5");
+  EXPECT_EQ(l3, "a,b");
+  std::remove((dir + "/milback_csv_test.csv").c_str());
+}
+
+}  // namespace
+}  // namespace milback
