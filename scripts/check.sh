@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full correctness gate: static lint, Werror build + tests, then the same
+# suite under AddressSanitizer + UBSan. Exits non-zero on the first failure.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== physics_lint =="
+python3 scripts/physics_lint.py "${repo_root}"
+
+echo "== dev build (Werror) + tests =="
+cmake --preset dev
+cmake --build --preset dev -j "${jobs}"
+ctest --preset dev
+
+echo "== asan-ubsan build + tests =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "${jobs}"
+ctest --preset asan-ubsan
+
+echo "== all checks passed =="

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Static physics/correctness lint for the milback tree.
+
+Rules:
+  R1  randomness discipline: no rand()/srand()/std::random_device outside
+      src/milback/util/rng.* -- all stochastic code must flow through
+      milback::Rng so simulations stay reproducible.
+  R2  no `using namespace` at namespace scope in headers.
+  R3  unit naming: public-header `double` parameters / struct fields whose
+      names look like physical quantities must carry a unit suffix
+      (_hz, _dbm, _db, _dbi, _dbc, _deg, _rad, _s, _m, _w, _bps, ...).
+  R4  include hygiene: every header starts with `#pragma once`; no
+      parent-relative (`../`) includes anywhere.
+
+Exit status is non-zero when any violation is found.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CPP_EXTS = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+RNG_ALLOWED = ("src/milback/util/rng.hpp", "src/milback/util/rng.cpp")
+RNG_PATTERNS = [
+    (re.compile(r"(?<![\w:])(?:std::)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"std::random_device"), "std::random_device"),
+]
+
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+
+# Physical-quantity stems that demand a unit suffix on double params/fields.
+QUANTITY_STEM = re.compile(
+    r"(?:^|_)(?:freq|frequency|power|gain|loss|bandwidth|azimuth|elevation"
+    r"|orientation|angle|distance|range|duration|wavelength|rate|separation"
+    r"|spacing|baseline|noise_floor|beamwidth|attenuation|delay|offset"
+    r"|threshold_db|snr|rssi)(?:$|_)"
+)
+UNIT_SUFFIX = re.compile(
+    r"_(?:hz|khz|mhz|ghz|dbm|dbi|dbc|db|deg|rad|s|ms|us|ns|m|mm|cm|km|w|mw"
+    r"|uw|bps|kbps|mbps|gbps|sps|v|mv|a|ma|j|uj|nj|hz_per_s|per_s|per_m"
+    r"|frac|ratio|lin|linear|coeff|alpha|bins|bits|samples|cells|elements)$"
+)
+# `double <identifier>` in a declaration context (parameter or field).
+DOUBLE_DECL = re.compile(r"\bdouble\s+([a-z][a-z0-9_]*)\s*[,;=){]")
+
+PARENT_INCLUDE = re.compile(r'#include\s+"\.\./')
+
+COMMENT_LINE = re.compile(r"^\s*(?://|\*|/\*)")
+
+
+def strip_strings(line: str) -> str:
+    return re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+
+
+def lint_file(root: Path, path: Path, errors: list[str]) -> None:
+    rel = path.relative_to(root).as_posix()
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    is_header = path.suffix in {".hpp", ".hh", ".h"}
+    is_public_header = is_header and rel.startswith("src/milback/")
+
+    if is_header:
+        first_code = next(
+            (l for l in lines if l.strip() and not COMMENT_LINE.match(l)), ""
+        )
+        if first_code.strip() != "#pragma once":
+            errors.append(f"{rel}:1: [R4] header must start with `#pragma once`")
+
+    for i, raw in enumerate(lines, start=1):
+        if COMMENT_LINE.match(raw):
+            continue
+        line = strip_strings(raw)
+
+        if rel not in RNG_ALLOWED:
+            for pat, what in RNG_PATTERNS:
+                if pat.search(line):
+                    errors.append(
+                        f"{rel}:{i}: [R1] {what} outside util/rng -- use milback::Rng"
+                    )
+
+        if is_header and USING_NAMESPACE.search(line):
+            errors.append(f"{rel}:{i}: [R2] `using namespace` in header")
+
+        if PARENT_INCLUDE.search(raw):
+            errors.append(f"{rel}:{i}: [R4] parent-relative #include")
+
+        if is_public_header:
+            for name in DOUBLE_DECL.findall(line):
+                name = name.rstrip("_")  # private members carry a trailing `_`
+                if QUANTITY_STEM.search(name) and not UNIT_SUFFIX.search(name):
+                    errors.append(
+                        f"{rel}:{i}: [R3] double `{name}` looks like a physical"
+                        " quantity but has no unit suffix"
+                    )
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    errors: list[str] = []
+    n_files = 0
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CPP_EXTS and path.is_file():
+                n_files += 1
+                lint_file(root, path, errors)
+    for e in errors:
+        print(e)
+    print(f"physics_lint: {n_files} files scanned, {len(errors)} violation(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

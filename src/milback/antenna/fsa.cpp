@@ -2,23 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "milback/antenna/array_factor.hpp"
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::antenna {
 
 DualPortFsa::DualPortFsa(const FsaConfig& config) : config_(config) {
-  if (config_.n_elements < 2) throw std::invalid_argument("DualPortFsa: need >= 2 elements");
-  if (config_.center_frequency_hz <= 0.0 || config_.mode_number < 1) {
-    throw std::invalid_argument("DualPortFsa: bad center frequency or mode number");
-  }
-  if (config_.max_frequency_hz <= config_.min_frequency_hz) {
-    throw std::invalid_argument("DualPortFsa: empty operating band");
-  }
+  MILBACK_REQUIRE(config_.n_elements >= 2, "DualPortFsa: need >= 2 elements");
+  require_positive(config_.center_frequency_hz, "center_frequency_hz");
+  MILBACK_REQUIRE(config_.mode_number >= 1, "DualPortFsa: mode number must be >= 1");
+  require_positive(config_.min_frequency_hz, "min_frequency_hz");
+  MILBACK_REQUIRE(config_.max_frequency_hz > config_.min_frequency_hz,
+                  "DualPortFsa: empty operating band");
+  require_finite(config_.element_gain_dbi, "element_gain_dbi");
+  require_finite(config_.efficiency_db, "efficiency_db");
+  require_positive(config_.element_pattern_q, "element_pattern_q");
   spacing_m_ = wavelength(config_.center_frequency_hz) / 2.0;
   line_delay_s_ = double(config_.mode_number) / config_.center_frequency_hz;
+  MILBACK_ENSURE(spacing_m_ > 0.0 && line_delay_s_ > 0.0,
+                 "DualPortFsa: derived geometry must be positive");
 }
 
 std::optional<double> DualPortFsa::beam_angle_deg(FsaPort port, double f_hz) const noexcept {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::ap {
@@ -22,6 +23,8 @@ double port_power_w(const channel::BackscatterChannel& channel,
 std::optional<CarrierSelection> select_carriers(const antenna::DualPortFsa& fsa,
                                                 double orientation_deg,
                                                 double min_tone_separation_hz) {
+  require_finite(orientation_deg, "orientation_deg");
+  require_positive(min_tone_separation_hz, "min_tone_separation_hz");
   const auto pair = fsa.carrier_pair_for_angle(orientation_deg);
   if (!pair) return std::nullopt;
   CarrierSelection sel;
@@ -37,7 +40,11 @@ std::optional<CarrierSelection> select_carriers(const antenna::DualPortFsa& fsa,
 }
 
 DownlinkTransmitter::DownlinkTransmitter(const DownlinkTxConfig& config)
-    : config_(config) {}
+    : config_(config) {
+  require_positive(config_.symbol_rate_hz, "symbol_rate_hz");
+  require_nonzero(config_.oversample, "oversample");
+  require_positive(config_.min_tone_separation_hz, "min_tone_separation_hz");
+}
 
 DownlinkWaveforms DownlinkTransmitter::synthesize(
     const channel::BackscatterChannel& channel, const channel::NodePose& pose,

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "milback/channel/propagation.hpp"
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::ap {
@@ -38,7 +39,15 @@ std::vector<double> fsa_sweep_envelope(const BackscatterChannel& channel,
 
 }  // namespace
 
-Localizer::Localizer(const LocalizerConfig& config) : config_(config) {}
+Localizer::Localizer(const LocalizerConfig& config) : config_(config) {
+  require_positive(config_.beat_sample_rate_hz, "beat_sample_rate_hz");
+  MILBACK_REQUIRE(config_.n_chirps >= 2,
+                  "Localizer: background subtraction needs >= 2 chirps");
+  require_positive(config_.chirp.bandwidth_hz, "chirp.bandwidth_hz");
+  require_positive(config_.chirp.duration_s, "chirp.duration_s");
+  require_positive(config_.chirp.start_frequency_hz, "chirp.start_frequency_hz");
+  require_non_negative(config_.slope_error_rms, "slope_error_rms");
+}
 
 Localizer::BurstPair Localizer::synthesize_burst(
     const BackscatterChannel& channel, const NodePose& pose,
@@ -149,6 +158,9 @@ Localizer::BurstPair Localizer::synthesize_burst(
 
 LocalizationResult Localizer::localize(const BackscatterChannel& channel,
                                        const NodePose& pose, milback::Rng& rng) const {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  require_finite(pose.orientation_deg, "pose.orientation_deg");
   LocalizationResult result;
   result.steered_azimuth_deg =
       pose.azimuth_deg + rng.gaussian(0.0, channel.config().steering_error_sigma_deg);

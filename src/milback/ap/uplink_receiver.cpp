@@ -4,6 +4,7 @@
 #include <cmath>
 #include <complex>
 
+#include "milback/core/contract.hpp"
 #include "milback/util/stats.hpp"
 #include "milback/util/units.hpp"
 
@@ -134,7 +135,14 @@ double decision_snr_db(const std::vector<double>& decisions,
 
 }  // namespace
 
-UplinkReceiver::UplinkReceiver(const UplinkRxConfig& config) : config_(config) {}
+UplinkReceiver::UplinkReceiver(const UplinkRxConfig& config) : config_(config) {
+  require_positive(config_.symbol_rate_hz, "symbol_rate_hz");
+  require_nonzero(config_.oversample, "oversample");
+  require_unit_interval(config_.integrate_start, "integrate_start");
+  require_unit_interval(config_.integrate_stop, "integrate_stop");
+  MILBACK_REQUIRE(config_.integrate_start < config_.integrate_stop,
+                  "UplinkReceiver: integration window is empty");
+}
 
 UplinkReception UplinkReceiver::receive(const channel::BackscatterChannel& channel,
                                         const channel::NodePose& pose,
@@ -142,6 +150,11 @@ UplinkReception UplinkReceiver::receive(const channel::BackscatterChannel& chann
                                         const node::UplinkSchedule& schedule,
                                         const rf::RfSwitchConfig& node_switch,
                                         milback::Rng& rng) const {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_positive(selection.f_a_hz, "selection.f_a_hz");
+  require_positive(selection.f_b_hz, "selection.f_b_hz");
+  MILBACK_REQUIRE(schedule.port_a.size() == schedule.port_b.size(),
+                  "UplinkReceiver: per-port schedules must cover the same symbols");
   UplinkReception r;
   rf::RfSwitch sw(node_switch);
 

@@ -1,16 +1,15 @@
 #include "milback/baselines/van_atta.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "milback/antenna/array_factor.hpp"
+#include "milback/core/contract.hpp"
 
 namespace milback::baselines {
 
 VanAttaArray::VanAttaArray(const VanAttaConfig& config) : config_(config) {
-  if (config_.n_elements == 0) {
-    throw std::invalid_argument("VanAttaArray: need at least one element pair");
-  }
+  require_nonzero(config_.n_elements, "n_elements");
+  require_positive(config_.field_of_view_deg, "field_of_view_deg");
 }
 
 double VanAttaArray::aperture_gain_dbi(double incidence_deg) const noexcept {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/rf/noise.hpp"
 #include "milback/util/units.hpp"
 
@@ -14,7 +15,17 @@ BackscatterChannel::BackscatterChannel(ChannelConfig config, rf::HornAntenna ap_
       ap_tx_(ap_tx),
       ap_rx_(ap_rx),
       fsa_(std::move(fsa)),
-      environment_(std::move(environment)) {}
+      environment_(std::move(environment)) {
+  require_finite(config_.tx_power_dbm, "tx_power_dbm");
+  require_non_negative(config_.rx_noise_figure_db, "rx_noise_figure_db");
+  require_non_negative(config_.implementation_loss_one_way_db,
+                       "implementation_loss_one_way_db");
+  require_non_negative(config_.implementation_loss_two_way_db,
+                       "implementation_loss_two_way_db");
+  require_non_negative(config_.blockage_loss_db, "blockage_loss_db");
+  require_positive(config_.ap_antenna_baseline_m, "ap_antenna_baseline_m");
+  require_non_negative(config_.steering_error_sigma_deg, "steering_error_sigma_deg");
+}
 
 BackscatterChannel BackscatterChannel::make_default(Environment environment,
                                                     ChannelConfig config) {

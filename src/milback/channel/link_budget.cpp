@@ -3,9 +3,22 @@
 #include <cmath>
 #include <sstream>
 
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::channel {
+
+namespace {
+
+// Shared precondition: budgets are only meaningful for a physically
+// placed node (positive finite range, finite angles).
+void require_valid_pose(const NodePose& pose) {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  require_finite(pose.orientation_deg, "pose.orientation_deg");
+}
+
+}  // namespace
 
 double modulation_power_coeff(const rf::RfSwitch& sw) noexcept {
   const double a_reflect = std::sqrt(sw.reflection_power(rf::SwitchState::kReflect));
@@ -19,6 +32,10 @@ DownlinkBudget compute_downlink_budget(const BackscatterChannel& channel,
                                        double f_signal_hz, double f_other_hz,
                                        const rf::EnvelopeDetector& detector,
                                        const rf::RfSwitch& sw, double measurement_bw_hz) {
+  require_valid_pose(pose);
+  require_positive(f_signal_hz, "f_signal_hz");
+  require_positive(f_other_hz, "f_other_hz");
+  require_positive(measurement_bw_hz, "measurement_bw_hz");
   DownlinkBudget b;
   const double through_db = lin2db(sw.through_power(rf::SwitchState::kAbsorb));
   b.signal_dbm = channel.incident_port_power_dbm(port, f_signal_hz, pose) + through_db;
@@ -58,6 +75,9 @@ DownlinkBudget compute_downlink_budget(const BackscatterChannel& channel,
 UplinkBudget compute_uplink_budget(const BackscatterChannel& channel, const NodePose& pose,
                                    antenna::FsaPort port, double f_hz,
                                    const rf::RfSwitch& sw, double bit_rate_bps) {
+  require_valid_pose(pose);
+  require_positive(f_hz, "f_hz");
+  require_positive(bit_rate_bps, "bit_rate_bps");
   UplinkBudget b;
   const double mod_coeff = modulation_power_coeff(sw);
   b.rx_signal_dbm = channel.backscatter_power_dbm(port, f_hz, pose, mod_coeff);
@@ -86,6 +106,10 @@ UplinkBudget compute_uplink_budget(const BackscatterChannel& channel, const Node
 RadarBudget compute_radar_budget(const BackscatterChannel& channel, const NodePose& pose,
                                  const rf::RfSwitch& sw, double chirp_duration_s,
                                  double sweep_bandwidth_hz, double beat_sample_rate_hz) {
+  require_valid_pose(pose);
+  require_positive(chirp_duration_s, "chirp_duration_s");
+  require_positive(sweep_bandwidth_hz, "sweep_bandwidth_hz");
+  require_positive(beat_sample_rate_hz, "beat_sample_rate_hz");
   RadarBudget b;
   const double f_c = channel.fsa().config().center_frequency_hz;
   // During localization the node toggles the whole reflection on/off; use the

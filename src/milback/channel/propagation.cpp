@@ -18,13 +18,13 @@ double friis_dbm(double tx_power_dbm, double tx_gain_dbi, double rx_gain_dbi,
 }
 
 double backscatter_dbm(double tx_power_dbm, double ap_tx_gain_dbi, double ap_rx_gain_dbi,
-                       double node_gain_dbi_in, double node_gain_dbi_out,
+                       double node_gain_in_dbi, double node_gain_out_dbi,
                        double reflect_power_coeff, double distance_m,
                        double frequency_hz) noexcept {
   const double loss = fspl_db(distance_m, frequency_hz);
   const double reflect_db = lin2db(std::max(reflect_power_coeff, 1e-30));
-  return tx_power_dbm + ap_tx_gain_dbi + node_gain_dbi_in - loss + reflect_db +
-         node_gain_dbi_out + ap_rx_gain_dbi - loss;
+  return tx_power_dbm + ap_tx_gain_dbi + node_gain_in_dbi - loss + reflect_db +
+         node_gain_out_dbi + ap_rx_gain_dbi - loss;
 }
 
 double radar_return_dbm(double tx_power_dbm, double tx_gain_dbi, double rx_gain_dbi,

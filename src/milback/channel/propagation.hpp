@@ -16,7 +16,7 @@ double friis_dbm(double tx_power_dbm, double tx_gain_dbi, double rx_gain_dbi,
 /// Received power [dBm] of a backscatter return: AP -> node (gain g_node_rx)
 /// -> reflect with power coefficient `reflect_power` -> node -> AP.
 double backscatter_dbm(double tx_power_dbm, double ap_tx_gain_dbi, double ap_rx_gain_dbi,
-                       double node_gain_dbi_in, double node_gain_dbi_out,
+                       double node_gain_in_dbi, double node_gain_out_dbi,
                        double reflect_power_coeff, double distance_m,
                        double frequency_hz) noexcept;
 

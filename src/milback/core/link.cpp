@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "milback/core/ber.hpp"
+#include "milback/core/contract.hpp"
 #include "milback/node/power_model.hpp"
 #include "milback/util/units.hpp"
 
@@ -23,7 +24,12 @@ std::size_t count_bit_errors(const std::vector<bool>& tx, const std::vector<bool
 }  // namespace
 
 MilBackLink::MilBackLink(channel::BackscatterChannel channel, LinkConfig config)
-    : channel_(std::move(channel)), config_(config), ap_(config.ap), node_(config.node) {}
+    : channel_(std::move(channel)), config_(config), ap_(config.ap), node_(config.node) {
+  require_positive(config_.downlink_bit_rate_bps, "downlink_bit_rate_bps");
+  require_positive(config_.uplink_bit_rate_bps, "uplink_bit_rate_bps");
+  require_positive(config_.node_sim_rate_hz, "node_sim_rate_hz");
+  require_positive(config_.downlink_measurement_bw_hz, "downlink_measurement_bw_hz");
+}
 
 ap::LocalizationResult MilBackLink::localize(const channel::NodePose& pose,
                                              milback::Rng& rng) const {
@@ -227,6 +233,7 @@ DownlinkRunResult MilBackLink::run_downlink_dense(const channel::NodePose& pose,
 UplinkRunResult MilBackLink::run_uplink(const channel::NodePose& pose,
                                         const std::vector<bool>& bits, milback::Rng& rng,
                                         double bit_rate_bps) const {
+  require_finite(bit_rate_bps, "bit_rate_bps");
   UplinkRunResult result;
   result.bits_sent = bits.size();
   const double rate = bit_rate_bps > 0.0 ? bit_rate_bps : config_.uplink_bit_rate_bps;

@@ -2,7 +2,8 @@
 
 #include <cmath>
 #include <numbers>
-#include <stdexcept>
+
+#include "milback/core/contract.hpp"
 
 namespace milback::dsp {
 
@@ -12,8 +13,8 @@ namespace {
 // `sign` is -1 for the forward transform, +1 for the inverse.
 void transform(std::vector<cplx>& x, int sign) {
   const std::size_t n = x.size();
-  if (n == 0) throw std::invalid_argument("fft: empty input");
-  if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
+  MILBACK_REQUIRE(n != 0, "fft: empty input");
+  MILBACK_REQUIRE(is_pow2(n), "fft: size must be a power of two");
 
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;

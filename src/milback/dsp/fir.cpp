@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <numbers>
-#include <stdexcept>
 
+#include "milback/core/contract.hpp"
 #include "milback/dsp/window.hpp"
 
 namespace milback::dsp {
@@ -11,9 +11,7 @@ namespace milback::dsp {
 namespace {
 
 void check_taps(std::size_t taps) {
-  if (taps < 3 || taps % 2 == 0) {
-    throw std::invalid_argument("FIR design: taps must be odd and >= 3");
-  }
+  MILBACK_REQUIRE(taps >= 3 && taps % 2 == 1, "FIR design: taps must be odd and >= 3");
 }
 
 double sinc(double x) {
@@ -25,7 +23,7 @@ double sinc(double x) {
 
 std::vector<double> design_lowpass(double fc, double fs, std::size_t taps) {
   check_taps(taps);
-  if (fc <= 0.0 || fc >= fs / 2.0) throw std::invalid_argument("design_lowpass: fc out of range");
+  MILBACK_REQUIRE(fc > 0.0 && fc < fs / 2.0, "design_lowpass: fc out of range");
   const double norm = 2.0 * fc / fs;  // normalized cutoff in cycles/sample *2
   const auto w = make_window(WindowType::kHamming, taps);
   const auto mid = double(taps - 1) / 2.0;
@@ -49,9 +47,8 @@ std::vector<double> design_highpass(double fc, double fs, std::size_t taps) {
 }
 
 std::vector<double> design_bandpass(double f_lo, double f_hi, double fs, std::size_t taps) {
-  if (!(0.0 < f_lo && f_lo < f_hi && f_hi < fs / 2.0)) {
-    throw std::invalid_argument("design_bandpass: require 0 < f_lo < f_hi < fs/2");
-  }
+  MILBACK_REQUIRE(0.0 < f_lo && f_lo < f_hi && f_hi < fs / 2.0,
+                  "design_bandpass: require 0 < f_lo < f_hi < fs/2");
   auto lp_hi = design_lowpass(f_hi, fs, taps);
   auto lp_lo = design_lowpass(f_lo, fs, taps);
   std::vector<double> h(taps);
@@ -63,7 +60,7 @@ namespace {
 
 template <typename T>
 std::vector<T> filter_same_impl(const std::vector<double>& h, const std::vector<T>& x) {
-  if (h.empty()) throw std::invalid_argument("filter_same: empty kernel");
+  MILBACK_REQUIRE(!h.empty(), "filter_same: empty kernel");
   const std::size_t delay = (h.size() - 1) / 2;
   std::vector<T> y(x.size(), T{});
   for (std::size_t n = 0; n < x.size(); ++n) {

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "milback/core/contract.hpp"
 #include "milback/dsp/fir.hpp"
 
 namespace milback::dsp {
 
 std::vector<double> decimate(const std::vector<double>& x, std::size_t factor) {
-  if (factor == 0) throw std::invalid_argument("decimate: factor must be >= 1");
+  require_nonzero(factor, "decimate factor");
   if (factor == 1 || x.size() < 8) return downsample(x, factor);
   // Anti-alias at 0.45 of the output Nyquist.
   const double fs = 1.0;  // normalized
@@ -21,7 +21,7 @@ std::vector<double> decimate(const std::vector<double>& x, std::size_t factor) {
 }
 
 std::vector<double> downsample(const std::vector<double>& x, std::size_t factor) {
-  if (factor == 0) throw std::invalid_argument("downsample: factor must be >= 1");
+  require_nonzero(factor, "downsample factor");
   std::vector<double> y;
   y.reserve(x.size() / factor + 1);
   for (std::size_t i = 0; i < x.size(); i += factor) y.push_back(x[i]);
@@ -43,7 +43,7 @@ std::vector<double> resample_linear(const std::vector<double>& x, std::size_t ou
 }
 
 std::vector<double> moving_average(const std::vector<double>& x, std::size_t window) {
-  if (window == 0) throw std::invalid_argument("moving_average: window must be >= 1");
+  require_nonzero(window, "moving_average window");
   std::vector<double> y(x.size());
   const std::ptrdiff_t half = std::ptrdiff_t(window) / 2;
   for (std::ptrdiff_t i = 0; i < std::ptrdiff_t(x.size()); ++i) {

@@ -1,7 +1,8 @@
 #include "milback/dsp/signal_ops.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "milback/core/contract.hpp"
 
 namespace milback::dsp {
 
@@ -28,7 +29,7 @@ double signal_energy(const std::vector<double>& x) noexcept {
 namespace {
 template <typename T>
 std::vector<T> binop(const std::vector<T>& a, const std::vector<T>& b, bool sub) {
-  if (a.size() != b.size()) throw std::invalid_argument("signal_ops: size mismatch");
+  MILBACK_REQUIRE(a.size() == b.size(), "signal_ops: size mismatch");
   std::vector<T> out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = sub ? a[i] - b[i] : a[i] + b[i];
   return out;
@@ -80,7 +81,7 @@ double snr_db(double signal_power_w, double noise_power_w) noexcept {
 }
 
 int correlation_lag(const std::vector<double>& a, const std::vector<double>& b, int max_lag) {
-  if (a.size() != b.size()) throw std::invalid_argument("correlation_lag: size mismatch");
+  MILBACK_REQUIRE(a.size() == b.size(), "correlation_lag: size mismatch");
   if (a.empty()) return 0;
   double best = -1.0;
   int best_lag = 0;

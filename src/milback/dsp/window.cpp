@@ -2,7 +2,8 @@
 
 #include <cmath>
 #include <numbers>
-#include <stdexcept>
+
+#include "milback/core/contract.hpp"
 
 namespace milback::dsp {
 
@@ -39,7 +40,7 @@ std::vector<double> make_window(WindowType type, std::size_t n) {
 }
 
 void apply_window(std::vector<double>& x, const std::vector<double>& w) {
-  if (x.size() != w.size()) throw std::invalid_argument("apply_window: size mismatch");
+  MILBACK_REQUIRE(x.size() == w.size(), "apply_window: size mismatch");
   for (std::size_t i = 0; i < x.size(); ++i) x[i] *= w[i];
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/node/mcu.hpp"
 #include "milback/util/stats.hpp"
 
@@ -48,6 +49,11 @@ double robust_threshold(const std::vector<double>& samples) {
 DownlinkDecision demodulate_downlink(const std::vector<double>& port_a_v,
                                      const std::vector<double>& port_b_v, double fs,
                                      const DownlinkDemodConfig& config) {
+  require_positive(fs, "fs");
+  require_positive(config.symbol_rate_hz, "symbol_rate_hz");
+  require_unit_interval(config.sample_point, "sample_point");
+  MILBACK_REQUIRE(port_a_v.size() == port_b_v.size(),
+                  "demodulate_downlink: port waveform lengths differ");
   DownlinkDecision d;
   d.samples_a = slice_symbols(port_a_v, fs, config);
   d.samples_b = slice_symbols(port_b_v, fs, config);

@@ -1,20 +1,17 @@
 #include "milback/radar/background_subtraction.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "milback/core/contract.hpp"
 
 namespace milback::radar {
 
 SubtractionResult background_subtract(
     const std::vector<std::vector<std::complex<double>>>& chirp_spectra) {
-  if (chirp_spectra.size() < 2) {
-    throw std::invalid_argument("background_subtract: need >= 2 chirp spectra");
-  }
+  MILBACK_REQUIRE(chirp_spectra.size() >= 2, "background_subtract: need >= 2 chirp spectra");
   const std::size_t n = chirp_spectra.front().size();
   for (const auto& s : chirp_spectra) {
-    if (s.size() != n) {
-      throw std::invalid_argument("background_subtract: spectra size mismatch");
-    }
+    MILBACK_REQUIRE(s.size() == n, "background_subtract: spectra size mismatch");
   }
 
   SubtractionResult out;

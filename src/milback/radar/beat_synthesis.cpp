@@ -1,8 +1,8 @@
 #include "milback/radar/beat_synthesis.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::radar {
@@ -20,12 +20,13 @@ std::vector<cplx> synthesize_beat(const std::vector<PathContribution>& paths,
                                   const ChirpConfig& chirp, double fs,
                                   std::size_t n_samples, double noise_power_w,
                                   milback::Rng& rng) {
+  require_positive(fs, "fs");
+  require_non_negative(noise_power_w, "noise_power_w");
   std::vector<cplx> beat(n_samples, cplx{0.0, 0.0});
   const double slope = chirp.slope_hz_per_s();
   for (const auto& p : paths) {
-    if (!p.envelope.empty() && p.envelope.size() != n_samples) {
-      throw std::invalid_argument("synthesize_beat: envelope length mismatch");
-    }
+    MILBACK_REQUIRE(p.envelope.empty() || p.envelope.size() == n_samples,
+                    "synthesize_beat: envelope length mismatch");
     const double f_beat = slope * p.delay_s;
     const double phi0 = dechirp_phase_rad(chirp, p.delay_s) + p.extra_phase_rad;
     for (std::size_t i = 0; i < n_samples; ++i) {

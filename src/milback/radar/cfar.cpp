@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/dsp/peak.hpp"
 #include "milback/util/units.hpp"
 
@@ -10,6 +11,8 @@ namespace milback::radar {
 
 std::vector<double> cfar_threshold(const std::vector<double>& statistic,
                                    const CfarConfig& config) {
+  require_nonzero(config.train_cells, "train_cells");
+  require_positive(config.threshold_factor, "threshold_factor");
   const std::size_t n = statistic.size();
   std::vector<double> threshold(n, 0.0);
   if (n == 0) return threshold;
@@ -42,6 +45,9 @@ std::vector<RangeDetection> cfar_detect(const SubtractionResult& sub,
                                         const RangeSpectrum& reference,
                                         const CfarConfig& config,
                                         std::size_t max_detections) {
+  require_non_negative(config.min_range_m, "min_range_m");
+  MILBACK_REQUIRE(config.max_range_m > config.min_range_m,
+                  "cfar_detect: range gate must satisfy min_range_m < max_range_m");
   std::vector<RangeDetection> out;
   const auto& stat = sub.detection_magnitude;
   if (stat.size() < 8) return out;

@@ -2,17 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "milback/core/contract.hpp"
 
 namespace milback::rf {
 
 Adc::Adc(const AdcConfig& config) : config_(config) {
-  if (config_.bits == 0 || config_.bits > 24) {
-    throw std::invalid_argument("Adc: bits must be in [1, 24]");
-  }
-  if (config_.sample_rate_hz <= 0.0 || config_.full_scale_v <= 0.0) {
-    throw std::invalid_argument("Adc: non-positive rate or full scale");
-  }
+  MILBACK_REQUIRE(config_.bits >= 1 && config_.bits <= 24, "Adc: bits must be in [1, 24]");
+  require_positive(config_.sample_rate_hz, "sample_rate_hz");
+  require_positive(config_.full_scale_v, "full_scale_v");
 }
 
 double Adc::lsb() const noexcept {
@@ -33,9 +31,8 @@ double Adc::quantize(double v) const noexcept {
 }
 
 std::vector<double> Adc::sample(const std::vector<double>& x, double input_rate_hz) const {
-  if (input_rate_hz < config_.sample_rate_hz) {
-    throw std::invalid_argument("Adc::sample: input rate below ADC rate");
-  }
+  MILBACK_REQUIRE(input_rate_hz >= config_.sample_rate_hz,
+                  "Adc::sample: input rate below ADC rate");
   const double step = input_rate_hz / config_.sample_rate_hz;
   std::vector<double> out;
   out.reserve(std::size_t(double(x.size()) / step) + 1);

@@ -1,16 +1,15 @@
 #include "milback/rf/amplifier.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::rf {
 
 Amplifier::Amplifier(const AmplifierConfig& config) : config_(config) {
-  if (config_.noise_figure_db < 0.0) {
-    throw std::invalid_argument("Amplifier: negative noise figure");
-  }
+  require_finite(config_.gain_db, "gain_db");
+  require_non_negative(config_.noise_figure_db, "noise_figure_db");
 }
 
 double Amplifier::output_power_dbm(double input_dbm) const noexcept {

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "milback/core/contract.hpp"
 #include "milback/dsp/fir.hpp"
 #include "milback/util/units.hpp"
 
@@ -11,9 +11,10 @@ namespace milback::rf {
 
 EnvelopeDetector::EnvelopeDetector(const EnvelopeDetectorConfig& config)
     : config_(config) {
-  if (config_.responsivity_v_per_w <= 0.0 || config_.video_bandwidth_hz <= 0.0) {
-    throw std::invalid_argument("EnvelopeDetector: non-positive responsivity/bandwidth");
-  }
+  require_positive(config_.responsivity_v_per_w, "responsivity_v_per_w");
+  require_positive(config_.video_bandwidth_hz, "video_bandwidth_hz");
+  require_positive(config_.max_output_v, "max_output_v");
+  require_non_negative(config_.output_noise_v_per_rthz, "output_noise_v_per_rthz");
 }
 
 double EnvelopeDetector::output_voltage(double input_power_w) const noexcept {

@@ -2,18 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "milback/core/contract.hpp"
 #include "milback/dsp/fir.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::rf {
 
 BandPassFilter::BandPassFilter(const BandPassConfig& config) : config_(config) {
-  if (config_.f_low_hz <= 0.0 || config_.f_high_hz <= config_.f_low_hz) {
-    throw std::invalid_argument("BandPassFilter: require 0 < f_low < f_high");
-  }
-  if (config_.order < 1) throw std::invalid_argument("BandPassFilter: order >= 1");
+  require_positive(config_.f_low_hz, "f_low_hz");
+  MILBACK_REQUIRE(config_.f_high_hz > config_.f_low_hz,
+                  "BandPassFilter: require 0 < f_low < f_high");
+  MILBACK_REQUIRE(config_.order >= 1, "BandPassFilter: order >= 1");
 }
 
 double BandPassFilter::attenuation_db(double f_hz) const noexcept {

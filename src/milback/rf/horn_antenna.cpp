@@ -2,16 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::rf {
 
 HornAntenna::HornAntenna(const HornAntennaConfig& config) : config_(config) {
-  if (config_.beamwidth_deg <= 0.0) {
-    throw std::invalid_argument("HornAntenna: non-positive beamwidth");
-  }
+  require_positive(config_.beamwidth_deg, "beamwidth_deg");
+  require_finite(config_.boresight_gain_dbi, "boresight_gain_dbi");
 }
 
 double HornAntenna::gain_dbi(double offset_deg) const noexcept {

@@ -1,16 +1,17 @@
 #include "milback/rf/rf_switch.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::rf {
 
 RfSwitch::RfSwitch(const RfSwitchConfig& config) : config_(config) {
-  if (config_.transition_time_s <= 0.0) {
-    throw std::invalid_argument("RfSwitch: non-positive transition time");
-  }
+  require_positive(config_.transition_time_s, "transition_time_s");
+  require_non_negative(config_.insertion_loss_db, "insertion_loss_db");
+  require_non_negative(config_.isolation_db, "isolation_db");
+  require_non_negative(config_.detector_return_loss_db, "detector_return_loss_db");
 }
 
 double RfSwitch::reflection_power(SwitchState s) const noexcept {
@@ -37,9 +38,8 @@ double RfSwitch::max_toggle_rate_hz() const noexcept {
 std::vector<double> RfSwitch::reflection_waveform(const std::vector<SwitchState>& states,
                                                   std::size_t samples_per_state,
                                                   double fs) const {
-  if (samples_per_state == 0) {
-    throw std::invalid_argument("reflection_waveform: samples_per_state must be >= 1");
-  }
+  require_nonzero(samples_per_state, "samples_per_state");
+  require_positive(fs, "fs");
   std::vector<double> out;
   out.reserve(states.size() * samples_per_state);
   // Exponential settling with tau derived from the 10-90% transition time.

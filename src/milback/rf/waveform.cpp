@@ -2,32 +2,32 @@
 
 #include <cmath>
 
+#include "milback/core/contract.hpp"
+
 namespace milback::rf {
 
 WaveformGenerator::WaveformGenerator(const WaveformGeneratorConfig& config)
     : config_(config) {
-  if (config_.max_frequency_hz <= config_.min_frequency_hz) {
-    throw std::invalid_argument("WaveformGenerator: empty band");
-  }
-  if (config_.max_segment_bandwidth_hz <= 0.0) {
-    throw std::invalid_argument("WaveformGenerator: non-positive segment bandwidth");
-  }
+  require_positive(config_.min_frequency_hz, "min_frequency_hz");
+  require_finite(config_.output_power_dbm, "output_power_dbm");
+  require_finite(config_.phase_noise_floor_dbc, "phase_noise_floor_dbc");
+  MILBACK_REQUIRE(config_.max_frequency_hz > config_.min_frequency_hz,
+                  "WaveformGenerator: empty band");
+  require_positive(config_.max_segment_bandwidth_hz, "max_segment_bandwidth_hz");
 }
 
 std::size_t WaveformGenerator::segments_for_bandwidth(double sweep_bandwidth_hz) const {
-  if (sweep_bandwidth_hz <= 0.0) {
-    throw std::invalid_argument("segments_for_bandwidth: non-positive bandwidth");
-  }
-  if (sweep_bandwidth_hz > band_hz() + 1.0) {
-    throw std::invalid_argument("segments_for_bandwidth: sweep exceeds generator band");
-  }
+  require_positive(sweep_bandwidth_hz, "sweep_bandwidth_hz");
+  MILBACK_REQUIRE(sweep_bandwidth_hz <= band_hz() + 1.0,
+                  "segments_for_bandwidth: sweep exceeds generator band");
   return std::size_t(std::ceil(sweep_bandwidth_hz / config_.max_segment_bandwidth_hz));
 }
 
 TwoToneSignal WaveformGenerator::make_two_tone(double f_a_hz, double f_b_hz) const {
-  if (!in_band(f_a_hz) || !in_band(f_b_hz)) {
-    throw std::invalid_argument("make_two_tone: tone out of generator band");
-  }
+  require_finite(f_a_hz, "f_a_hz");
+  require_finite(f_b_hz, "f_b_hz");
+  MILBACK_REQUIRE(in_band(f_a_hz) && in_band(f_b_hz),
+                  "make_two_tone: tone out of generator band");
   // Total output power is split across the two tones (3 dB each when both
   // are enabled); the caller gates `enabled` per OAQFM symbol.
   TwoToneSignal s;
@@ -38,6 +38,8 @@ TwoToneSignal WaveformGenerator::make_two_tone(double f_a_hz, double f_b_hz) con
 
 std::vector<std::complex<double>> WaveformGenerator::tone_baseband(
     const TwoToneSignal& signal, double f_ref_hz, double fs, std::size_t num_samples) const {
+  require_finite(f_ref_hz, "f_ref_hz");
+  require_positive(fs, "fs");
   std::vector<std::complex<double>> out(num_samples, {0.0, 0.0});
   auto add_tone = [&](const Tone& tone) {
     if (!tone.enabled) return;

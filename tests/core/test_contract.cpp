@@ -1,0 +1,195 @@
+// Contract-layer tests: the macros, the pluggable handler, the domain
+// guards, and — most importantly — that invalid configurations of the
+// physics subsystems are rejected with a ContractViolation whose message
+// names the failed predicate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "milback/antenna/fsa.hpp"
+#include "milback/core/contract.hpp"
+#include "milback/core/link.hpp"
+#include "milback/dsp/fft.hpp"
+#include "milback/dsp/fir.hpp"
+#include "milback/radar/cfar.hpp"
+#include "milback/rf/waveform.hpp"
+
+namespace milback {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// --- macros -----------------------------------------------------------------
+
+TEST(ContractMacros, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(MILBACK_REQUIRE(1 + 1 == 2, "arithmetic"));
+  EXPECT_NO_THROW(MILBACK_ENSURE(true, "trivially"));
+  EXPECT_NO_THROW(MILBACK_ASSERT(true));
+}
+
+TEST(ContractMacros, RequireThrowsWithKindAndPredicate) {
+  try {
+    MILBACK_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), "precondition");
+    EXPECT_EQ(v.predicate(), "2 < 1");
+    EXPECT_GT(v.line(), 0);
+    const std::string what = v.what();
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);  // message names the predicate
+  }
+}
+
+TEST(ContractMacros, EnsureAndAssertReportTheirKind) {
+  try {
+    MILBACK_ENSURE(false, "post failed");
+    FAIL();
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), "postcondition");
+  }
+  try {
+    MILBACK_ASSERT(false);
+    FAIL();
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), "assertion");
+  }
+}
+
+TEST(ContractMacros, ViolationIsCatchableAsInvalidArgument) {
+  // Pre-contract call sites catch std::invalid_argument; that must keep
+  // working.
+  EXPECT_THROW(MILBACK_REQUIRE(false, "compat"), std::invalid_argument);
+}
+
+// --- handler plumbing -------------------------------------------------------
+
+int g_custom_handler_hits = 0;
+
+void counting_handler(const ContractViolation& v) {
+  ++g_custom_handler_hits;
+  throw v;  // a handler must not return
+}
+
+TEST(ContractHandler, DefaultIsThrowing) {
+  EXPECT_EQ(contract::handler(), &contract::throwing_handler);
+}
+
+TEST(ContractHandler, GuardSwapsAndRestores) {
+  const auto before = contract::handler();
+  {
+    contract::HandlerGuard guard(&counting_handler);
+    EXPECT_EQ(contract::handler(), &counting_handler);
+    g_custom_handler_hits = 0;
+    EXPECT_THROW(MILBACK_REQUIRE(false, "routed"), ContractViolation);
+    EXPECT_EQ(g_custom_handler_hits, 1);
+  }
+  EXPECT_EQ(contract::handler(), before);
+}
+
+TEST(ContractHandler, NullRestoresDefault) {
+  contract::HandlerGuard guard(&counting_handler);
+  contract::set_handler(nullptr);
+  EXPECT_EQ(contract::handler(), &contract::throwing_handler);
+}
+
+// --- domain guards ----------------------------------------------------------
+
+TEST(DomainGuards, ReturnValidatedValue) {
+  EXPECT_DOUBLE_EQ(require_finite(-2.5, "x"), -2.5);
+  EXPECT_DOUBLE_EQ(require_positive(28e9, "f"), 28e9);
+  EXPECT_DOUBLE_EQ(require_non_negative(0.0, "loss"), 0.0);
+  EXPECT_DOUBLE_EQ(require_in_range(0.5, 0.0, 1.0, "frac"), 0.5);
+  EXPECT_DOUBLE_EQ(require_unit_interval(1.0, "p"), 1.0);
+  EXPECT_EQ(require_nonzero(7, "n"), 7u);
+}
+
+TEST(DomainGuards, RejectOutOfDomain) {
+  EXPECT_THROW(require_finite(kNan, "x"), ContractViolation);
+  EXPECT_THROW(require_finite(std::numeric_limits<double>::infinity(), "x"),
+               ContractViolation);
+  EXPECT_THROW(require_positive(0.0, "f"), ContractViolation);
+  EXPECT_THROW(require_positive(kNan, "f"), ContractViolation);
+  EXPECT_THROW(require_non_negative(-1e-9, "loss"), ContractViolation);
+  EXPECT_THROW(require_in_range(1.5, 0.0, 1.0, "frac"), ContractViolation);
+  EXPECT_THROW(require_unit_interval(-0.1, "p"), ContractViolation);
+  EXPECT_THROW(require_nonzero(0, "n"), ContractViolation);
+}
+
+TEST(DomainGuards, MessageNamesQuantityAndValue) {
+  try {
+    require_positive(-3.0, "bandwidth_hz");
+    FAIL();
+  } catch (const ContractViolation& v) {
+    const std::string what = v.what();
+    EXPECT_NE(what.find("bandwidth_hz"), std::string::npos);
+    EXPECT_NE(what.find("-3"), std::string::npos);
+  }
+}
+
+// --- subsystem entry points reject invalid configs --------------------------
+
+TEST(SubsystemContracts, WaveformGeneratorRejectsEmptyBand) {
+  rf::WaveformGeneratorConfig cfg;
+  cfg.min_frequency_hz = 29.5e9;
+  cfg.max_frequency_hz = 26.5e9;  // inverted band
+  EXPECT_THROW(rf::WaveformGenerator{cfg}, ContractViolation);
+}
+
+TEST(SubsystemContracts, WaveformGeneratorRejectsNegativeSegmentBandwidth) {
+  rf::WaveformGeneratorConfig cfg;
+  cfg.max_segment_bandwidth_hz = -2e9;
+  EXPECT_THROW(rf::WaveformGenerator{cfg}, ContractViolation);
+}
+
+TEST(SubsystemContracts, FsaRejectsDegenerateGeometry) {
+  antenna::FsaConfig cfg;
+  cfg.n_elements = 1;  // an array needs >= 2 elements
+  EXPECT_THROW(antenna::DualPortFsa{cfg}, ContractViolation);
+
+  antenna::FsaConfig nan_gain;
+  nan_gain.element_gain_dbi = kNan;
+  EXPECT_THROW(antenna::DualPortFsa{nan_gain}, ContractViolation);
+
+  antenna::FsaConfig zero_freq;
+  zero_freq.center_frequency_hz = 0.0;
+  EXPECT_THROW(antenna::DualPortFsa{zero_freq}, ContractViolation);
+}
+
+TEST(SubsystemContracts, CfarRejectsDegenerateWindow) {
+  const std::vector<double> stat(64, 1.0);
+  radar::CfarConfig no_train;
+  no_train.train_cells = 0;
+  EXPECT_THROW(radar::cfar_threshold(stat, no_train), ContractViolation);
+
+  radar::CfarConfig bad_factor;
+  bad_factor.threshold_factor = -1.0;
+  EXPECT_THROW(radar::cfar_threshold(stat, bad_factor), ContractViolation);
+}
+
+TEST(SubsystemContracts, DspRejectsMalformedInput) {
+  // fft() pads to a power of two; the strict size contract is on the
+  // in-place transform.
+  std::vector<dsp::cplx> empty;
+  EXPECT_THROW(dsp::fft_inplace(empty), ContractViolation);
+  std::vector<dsp::cplx> not_pow2(12);
+  EXPECT_THROW(dsp::fft_inplace(not_pow2), ContractViolation);
+  EXPECT_THROW(dsp::design_lowpass(0.9, 1.0, 31), ContractViolation);  // fc >= fs/2
+  EXPECT_THROW(dsp::design_lowpass(0.1, 1.0, 4), ContractViolation);   // even taps
+}
+
+TEST(SubsystemContracts, LocalizeRejectsNonPhysicalPose) {
+  Rng env(1);
+  core::MilBackLink link(
+      channel::BackscatterChannel::make_default(channel::Environment::indoor_office(env),
+                                                channel::ChannelConfig{}),
+      core::LinkConfig{});
+  Rng rng(2);
+  EXPECT_THROW(link.localize({kNan, 0.0, 12.0}, rng), ContractViolation);
+  EXPECT_THROW(link.localize({-1.0, 0.0, 12.0}, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace milback

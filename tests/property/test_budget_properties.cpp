@@ -105,8 +105,8 @@ INSTANTIATE_TEST_SUITE_P(
                       GridPoint{4.0, 15.0}, GridPoint{5.0, 25.0}, GridPoint{6.0, 10.0},
                       GridPoint{8.0, 15.0}, GridPoint{2.0, -20.0}, GridPoint{4.0, -10.0},
                       GridPoint{6.0, -25.0}),
-    [](const auto& info) {
-      const auto& p = info.param;
+    [](const auto& gen_info) {
+      const auto& p = gen_info.param;
       std::string o = p.orientation_deg < 0
                           ? "neg" + std::to_string(int(-p.orientation_deg))
                           : std::to_string(int(p.orientation_deg));

@@ -78,8 +78,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Operating{3.0, 8.0, 15}, Operating{3.5, -12.0, 16},
                       Operating{4.0, 18.0, 17}, Operating{4.5, -20.0, 18},
                       Operating{5.0, 12.0, 19}, Operating{5.0, 25.0, 20}),
-    [](const auto& info) {
-      const auto& p = info.param;
+    [](const auto& gen_info) {
+      const auto& p = gen_info.param;
       std::string o = p.orientation_deg < 0
                           ? "neg" + std::to_string(int(-p.orientation_deg))
                           : std::to_string(int(p.orientation_deg));

@@ -105,10 +105,10 @@ INSTANTIATE_TEST_SUITE_P(
                       FsaVariant{16, 5, 28.0}, FsaVariant{12, 6, 28.0},
                       FsaVariant{24, 5, 28.0}, FsaVariant{12, 5, 60.0},
                       FsaVariant{10, 3, 24.0}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n_elements) + "_m" +
-             std::to_string(info.param.mode_number) + "_f" +
-             std::to_string(int(info.param.center_ghz));
+    [](const auto& gen_info) {
+      return "n" + std::to_string(gen_info.param.n_elements) + "_m" +
+             std::to_string(gen_info.param.mode_number) + "_f" +
+             std::to_string(int(gen_info.param.center_ghz));
     });
 
 }  // namespace
