@@ -52,18 +52,19 @@ int main(int argc, char** argv) {
   CsvWriter csv(CsvWriter::env_dir(), "ablation_bg_subtraction",
                 {"distance_m", "on_hits", "on_err_cm", "off_hits", "off_err_cm"});
   const int kTrials = 20;
+  std::size_t p = 0;
   for (double d : {1.0, 2.0, 4.0, 6.0, 8.0}) {
     int on_hits = 0, off_hits = 0;
     std::vector<double> on_errs, off_errs;
     for (int trial = 0; trial < kTrials; ++trial) {
       const channel::NodePose pose{d, 0.0, 10.0};
-      auto rng_on = master.fork(std::uint64_t(trial * 71) + std::uint64_t(d * 7) + 100);
+      auto rng_on = Rng::stream(seed, p, std::uint64_t(trial), std::uint64_t{0});
       const auto r = loc.localize(chan, pose, rng_on);
       if (r.detected && std::abs(r.range_m - d) < 0.5) {
         ++on_hits;
         on_errs.push_back(std::abs(r.range_m - d));
       }
-      auto rng_off = master.fork(std::uint64_t(trial * 73) + std::uint64_t(d * 11) + 200);
+      auto rng_off = Rng::stream(seed, p, std::uint64_t(trial), std::uint64_t{1});
       const auto raw = localize_without_subtraction(loc, chan, pose, rng_off);
       if (raw && std::abs(*raw - d) < 0.5) {
         ++off_hits;
@@ -77,6 +78,7 @@ int main(int argc, char** argv) {
                off_errs.empty() ? "-" : Table::num(mean(off_errs) * 100, 1)});
     csv.row({d, double(on_hits) / kTrials, mean(on_errs) * 100,
              double(off_hits) / kTrials, mean(off_errs) * 100});
+    ++p;
   }
   t.print(std::cout);
   std::cout << "\nReading: without subtraction the raw spectral peak locks onto the\n"

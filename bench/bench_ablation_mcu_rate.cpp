@@ -22,7 +22,7 @@ struct Cell {
   int invalid = 0;
 };
 
-Cell measure(double chirp_duration_s, double mcu_rate_hz, Rng& master,
+Cell measure(double chirp_duration_s, double mcu_rate_hz, std::uint64_t seed,
              std::uint64_t salt) {
   Rng env_rng(1);
   core::LinkConfig cfg;
@@ -36,9 +36,9 @@ Cell measure(double chirp_duration_s, double mcu_rate_hz, Rng& master,
   std::vector<double> errs;
   const int kTrials = 12;
   for (int t = 0; t < kTrials; ++t) {
+    std::size_t o_idx = 0;
     for (double orient : {-18.0, -8.0, 8.0, 18.0}) {
-      auto rng = master.fork(salt * 1000003 + std::uint64_t(t * 37) +
-                             std::uint64_t(orient * 5 + 500));
+      auto rng = Rng::stream(seed, salt, std::uint64_t(t), o_idx++);
       const channel::NodePose pose{2.0, 0.0, orient};
       const auto est = link.sense_orientation_at_node(pose, rng);
       if (!est) {
@@ -57,7 +57,6 @@ Cell measure(double chirp_duration_s, double mcu_rate_hz, Rng& master,
 int main(int argc, char** argv) {
   const auto seed = bench::parse_seed(argc, argv);
   bench::banner("Ablation", "Node orientation error vs MCU rate x chirp duration", seed);
-  Rng master(seed);
 
   const std::vector<double> durations_us{11.25, 22.5, 45.0, 90.0};
   const std::vector<double> rates_mhz{0.25, 0.5, 1.0, 4.0};
@@ -71,7 +70,7 @@ int main(int argc, char** argv) {
                                  (rate == 1.0 ? " (paper)" : "")};
     std::vector<double> csv_row{rate};
     for (const double dur : durations_us) {
-      const auto cell = measure(dur * 1e-6, rate * 1e6, master, salt++);
+      const auto cell = measure(dur * 1e-6, rate * 1e6, seed, salt++);
       const int kAttempts = 48;
       std::string s;
       if (cell.invalid >= kAttempts) {

@@ -26,12 +26,14 @@ int main(int argc, char** argv) {
            "bits/symbol"});
   CsvWriter csv(CsvWriter::env_dir(), "ablation_ook_fallback",
                 {"orientation", "sep_mhz", "is_ook", "ber"});
+  std::size_t next_p = 0;
   for (double orient : {-8.0, -4.0, -2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const std::size_t p = next_p++;
     const auto pair = fsa.carrier_pair_for_angle(orient);
     if (!pair) continue;
     const double sep = std::abs(pair->first - pair->second);
-    auto rng = master.fork(std::uint64_t((orient + 50.0) * 17));
-    auto data = master.fork(std::uint64_t((orient + 50.0) * 19));
+    auto rng = Rng::stream(seed, p, std::uint64_t{0});
+    auto data = Rng::stream(seed, p, std::uint64_t{1});
     const auto bits = data.bits(1000);
     const auto r = link.run_downlink({2.0, 0.0, orient}, bits, rng);
     const bool ook = r.mode == core::ModulationMode::kOok;

@@ -23,13 +23,14 @@ int main(int argc, char** argv) {
   CsvWriter csv(CsvWriter::env_dir(), "ablation_preamble",
                 {"orientation", "distance", "dl_rate", "ul_rate"});
   const int kTrials = 15;
+  std::size_t o_idx = 0;
   for (double orient : {-25.0, -12.0, 5.0, 18.0, 28.0}) {
+    std::size_t d_idx = 0;
     for (double d : {2.0, 5.0, 8.0}) {
       int dl_ok = 0, ul_ok = 0;
       for (int trial = 0; trial < kTrials; ++trial) {
         const channel::NodePose pose{d, 0.0, orient};
-        auto r1 = master.fork(std::uint64_t(trial * 89) + std::uint64_t(orient * 3 + 900) +
-                              std::uint64_t(d));
+        auto r1 = Rng::stream(seed, o_idx, d_idx, std::uint64_t(trial), std::uint64_t{0});
         const auto trace_dl = link.node_field1_trace(pose, antenna::FsaPort::kA,
                                                      core::LinkDirection::kDownlink, r1);
         const auto det_dl = core::detect_direction(
@@ -37,8 +38,7 @@ int main(int argc, char** argv) {
             link.config().packet.preamble);
         dl_ok += det_dl && *det_dl == core::LinkDirection::kDownlink;
 
-        auto r2 = master.fork(std::uint64_t(trial * 97) + std::uint64_t(orient * 5 + 400) +
-                              std::uint64_t(d));
+        auto r2 = Rng::stream(seed, o_idx, d_idx, std::uint64_t(trial), std::uint64_t{1});
         const auto trace_ul = link.node_field1_trace(pose, antenna::FsaPort::kA,
                                                      core::LinkDirection::kUplink, r2);
         const auto det_ul = core::detect_direction(
@@ -50,7 +50,9 @@ int main(int argc, char** argv) {
                  Table::num(double(dl_ok) / kTrials, 2),
                  Table::num(double(ul_ok) / kTrials, 2)});
       csv.row({orient, d, double(dl_ok) / kTrials, double(ul_ok) / kTrials});
+      ++d_idx;
     }
+    ++o_idx;
   }
   t.print(std::cout);
   std::cout << "\nReading: the 1.5-chirp signalling gap keeps the two preambles\n"

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     const double d = phase <= 1.0 ? 2.0 + 9.0 * phase : 11.0 - 9.0 * (phase - 1.0);
     const channel::NodePose pose{d, 0.0, 15.0};
 
-    auto rng = master.fork(std::uint64_t(100 + round));
+    auto rng = Rng::stream(seed, std::uint64_t(round));
     const auto step = session.step(pose, rng);
     if (step.state == core::SessionState::kTracking && step.uplink_rate_bps > 0.0) {
       ++rounds_tracking;

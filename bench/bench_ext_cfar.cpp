@@ -26,27 +26,27 @@ int main(int argc, char** argv) {
   const auto seed = bench::parse_seed(argc, argv);
   bench::banner("Extension", "CA-CFAR vs median-threshold detection", seed);
 
-  Rng master(seed);
   const int kTrials = 15;
 
   Table t({"clutter drift", "distance (m)", "median: hits/FA", "CFAR: hits/FA"});
   CsvWriter csv(CsvWriter::env_dir(), "ext_cfar",
                 {"drift", "distance", "med_hits", "med_fa", "cfar_hits", "cfar_fa"});
 
+  std::size_t drift_idx = 0;
   for (const double drift : {5e-4, 5e-3}) {
     channel::ChannelConfig ccfg;
     ccfg.chirp_amplitude_drift = drift;
-    auto env_rng = master.fork(std::uint64_t(drift * 1e6));
+    auto env_rng = Rng::stream(seed, std::uint64_t{1}, drift_idx);
     const auto chan = channel::BackscatterChannel::make_default(
         channel::Environment::indoor_office(env_rng), ccfg);
     const ap::Localizer loc;
 
+    std::size_t d_idx = 0;
     for (const double d : {3.0, 6.0, 8.0}) {
       Score med, cfar;
       for (int trial = 0; trial < kTrials; ++trial) {
         const channel::NodePose pose{d, 0.0, 10.0};
-        auto rng = master.fork(std::uint64_t(trial * 131) + std::uint64_t(d * 17) +
-                               std::uint64_t(drift * 1e7));
+        auto rng = Rng::stream(seed, drift_idx, d_idx, std::uint64_t(trial));
         std::vector<rf::SwitchState> states(loc.config().n_chirps);
         for (std::size_t i = 0; i < states.size(); ++i) {
           states[i] = (i % 2 == 0) ? rf::SwitchState::kReflect : rf::SwitchState::kAbsorb;
@@ -80,7 +80,9 @@ int main(int argc, char** argv) {
                      std::to_string(cfar.false_alarms)});
       csv.row({drift, d, double(med.hits), double(med.false_alarms), double(cfar.hits),
                double(cfar.false_alarms)});
+      ++d_idx;
     }
+    ++drift_idx;
   }
   t.print(std::cout);
   std::cout << "\nReading: with the paper's stable clutter both detectors find the\n"

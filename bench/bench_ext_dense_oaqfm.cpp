@@ -104,16 +104,19 @@ int main(int argc, char** argv) {
 
   std::cout << "\nWaveform verification (2000 bits through the full pipeline):\n";
   Table v({"levels", "distance (m)", "bit errors", "measured BER"});
+  std::size_t l_idx = 0;
   for (unsigned L : {2u, 4u, 8u}) {
+    std::size_t d_idx = 0;
     for (double d : {1.5, 4.0}) {
-      auto rng = master.fork(std::uint64_t(L * 100 + std::uint64_t(d * 7)));
-      auto data = master.fork(std::uint64_t(L * 103 + std::uint64_t(d * 11)));
+      auto rng = Rng::stream(seed, l_idx, d_idx, std::uint64_t{0});
+      auto data = Rng::stream(seed, l_idx, d_idx++, std::uint64_t{1});
       const auto bits = data.bits(2000);
       const auto r = link.run_downlink_dense({d, 0.0, 15.0}, bits, L, rng);
       v.add_row({std::to_string(L), Table::num(d, 1),
                  r.carriers_ok ? std::to_string(r.bit_errors) : "n/a",
                  r.carriers_ok ? Table::sci(r.ber, 1) : "n/a"});
     }
+    ++l_idx;
   }
   v.print(std::cout);
   std::cout << "\nReading: L = 4 doubles the peak rate to 72 Mbps and holds BER\n"

@@ -59,9 +59,11 @@ int main(int argc, char** argv) {
   std::cout << "\nWaveform verification at the range edge (coded payload through "
                "the full uplink):\n";
   Table v({"distance (m)", "channel bits", "channel errors", "post-FEC errors"});
+  std::size_t next_p = 0;
   for (double d : {8.0, 9.0, 10.0}) {
-    auto rng = master.fork(std::uint64_t(d * 31) + 7);
-    auto data = master.fork(std::uint64_t(d * 37) + 11);
+    const std::size_t p = next_p++;
+    auto rng = Rng::stream(seed, p, std::uint64_t{0});
+    auto data = Rng::stream(seed, p, std::uint64_t{1});
     const auto payload = data.bits(2000);
     const auto coded = core::hamming74_encode(payload);
     const auto run = link.run_uplink({d, 0.0, 15.0}, coded, rng);
@@ -72,7 +74,7 @@ int main(int argc, char** argv) {
     // API — here we approximate by running decode on the transmitted stream
     // with the measured BER applied i.i.d. (the uplink channel is memoryless
     // per bit in this simulation).
-    auto flip_rng = master.fork(std::uint64_t(d * 41) + 13);
+    auto flip_rng = Rng::stream(seed, p, std::uint64_t{2});
     auto received = coded;
     const double ber = run.ber;
     std::size_t channel_errors = 0;

@@ -22,10 +22,13 @@ int main(int argc, char** argv) {
       {2.0, -30.0, 12.0}, {3.5, -18.0, -10.0}, {2.5, -4.0, 15.0},
       {4.5, 8.0, -14.0},  {3.0, 20.0, 10.0},   {5.5, 32.0, -8.0}};
 
-  // Reference capacity from an idle probe.
+  // Reference capacity from an idle probe. The environment stream is
+  // stateless so the probe and every load point below see the *same* room
+  // (a stateful fork(1) would hand each call a different one).
+  const auto make_env = [&] { return Rng::stream(seed, std::uint64_t{1000}); };
   double capacity = 0.0;
   {
-    Rng env_rng = master.fork(1);
+    Rng env_rng = make_env();
     core::MacSimulator probe(bench::make_indoor_channel(env_rng), core::MacConfig{});
     for (std::size_t i = 0; i < poses.size(); ++i) {
       probe.add_node("t" + std::to_string(i), {.pose = poses[i], .arrival_rate_bps = 1.0});
@@ -40,15 +43,16 @@ int main(int argc, char** argv) {
            "p95 latency (us)", "stable"});
   CsvWriter csv(CsvWriter::env_dir(), "ext_mac_capacity",
                 {"load_frac", "goodput_mbps", "mean_lat_us", "p95_lat_us", "stable"});
+  std::size_t frac_idx = 0;
   for (const double frac : {0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.5, 2.0}) {
-    Rng env_rng = master.fork(1);  // same room every time
+    Rng env_rng = make_env();  // same room every time
     core::MacSimulator sim(bench::make_indoor_channel(env_rng), core::MacConfig{});
     const double per_node = frac * capacity / double(poses.size());
     for (std::size_t i = 0; i < poses.size(); ++i) {
       sim.add_node("t" + std::to_string(i),
                    {.pose = poses[i], .arrival_rate_bps = per_node});
     }
-    Rng rng = master.fork(std::uint64_t(frac * 100) + 10);
+    Rng rng = Rng::stream(seed, frac_idx++);
     const auto report = sim.run(0.5, rng);
 
     std::vector<double> lat, p95;

@@ -15,26 +15,26 @@ int main(int argc, char** argv) {
   const auto seed = bench::parse_seed(argc, argv);
   bench::banner("Extension", "SDM scaling: nodes vs slots vs aggregate goodput", seed);
 
-  Rng master(seed);
-
   Table t({"nodes", "SDM slots", "UL aggregate (Mbps)", "UL worst-node (Mbps)",
            "DL aggregate (Mbps)", "mean eff. SNR (dB)"});
   CsvWriter csv(CsvWriter::env_dir(), "ext_sdm_scaling",
                 {"nodes", "slots", "ul_agg_mbps", "ul_worst_mbps", "dl_agg_mbps"});
 
   for (const std::size_t n_nodes : {1u, 2u, 4u, 6u, 8u, 12u}) {
-    auto env_rng = master.fork(1);  // same room for every population size
+    // Stateless streams: the room really is identical for every population
+    // size, and placement/round draws depend only on (seed, n_nodes).
+    auto env_rng = Rng::stream(seed, std::uint64_t{1});
     core::MilBackNetwork net(channel::BackscatterChannel::make_default(
                                  channel::Environment::indoor_office(env_rng)),
                              core::NetworkConfig{});
-    auto place = master.fork(1000 + n_nodes);
+    auto place = Rng::stream(seed, std::uint64_t{1000}, n_nodes);
     for (std::size_t i = 0; i < n_nodes; ++i) {
       net.add_node("n" + std::to_string(i),
                    {place.uniform(1.5, 6.0), place.uniform(-35.0, 35.0),
                     place.uniform(-25.0, 25.0)});
     }
 
-    auto rng = master.fork(2000 + n_nodes);
+    auto rng = Rng::stream(seed, std::uint64_t{2000}, n_nodes);
     const auto ul = net.run_uplink_round(400, rng);
     const auto dl = net.run_downlink_round(400, rng);
 

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     const double y = 0.8 * std::sin(0.35 * ts);
     const channel::NodePose pose{std::hypot(x, y), rad2deg(std::atan2(y, x)), 10.0};
 
-    auto rng = master.fork(std::uint64_t(100 + k));
+    auto rng = Rng::stream(seed, std::uint64_t(k));
     const auto fix = link.localize(pose, rng);
     const auto& st = tracker.update(fix, std::nullopt);
 

@@ -7,6 +7,7 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "milback/core/link.hpp"
 
@@ -25,26 +26,26 @@ int main(int argc, char** argv) {
   CsvWriter csv(CsvWriter::env_dir(), "fig12a_ranging",
                 {"distance_m", "mean_cm", "p90_cm", "max_cm"});
 
-  const int kTrials = 20;
-  for (double d : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}) {
-    std::vector<double> errs;
-    int misses = 0;
-    for (int trial = 0; trial < kTrials; ++trial) {
-      auto rng = master.fork(std::uint64_t(100 + trial) * 1009 + std::uint64_t(d * 13));
-      const channel::NodePose pose{d, 0.0, 10.0};
-      const auto r = link.localize(pose, rng);
-      if (!r.detected) {
-        ++misses;
-        continue;
-      }
-      errs.push_back(std::abs(r.range_m - d));
-    }
+  const sim::TrialRunner runner;
+  const sim::Sweep<double> sweep({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}, 20);
+  const auto outcomes = sweep.run<std::optional<double>>(
+      runner, [&](double d, std::size_t p, std::size_t trial) -> std::optional<double> {
+        auto rng = Rng::stream(seed, p, trial);
+        const channel::NodePose pose{d, 0.0, 10.0};
+        const auto r = link.localize(pose, rng);
+        if (!r.detected) return std::nullopt;
+        return std::abs(r.range_m - d);
+      });
+
+  for (std::size_t p = 0; p < sweep.points().size(); ++p) {
+    const double d = sweep.points()[p];
+    const auto acc = sim::Accumulator::from(outcomes[p]);
     const double bound = d <= 5.0 ? 5.0 : 12.0;
-    t.add_row({Table::num(d, 0), Table::num(mean(errs) * 100, 2),
-               Table::num(percentile(errs, 90) * 100, 2),
-               Table::num(max_value(errs) * 100, 2), std::to_string(misses),
+    t.add_row({Table::num(d, 0), Table::num(acc.mean() * 100, 2),
+               Table::num(acc.percentile(90) * 100, 2),
+               Table::num(acc.max() * 100, 2), std::to_string(acc.misses()),
                "< " + Table::num(bound, 0)});
-    csv.row({d, mean(errs) * 100, percentile(errs, 90) * 100, max_value(errs) * 100});
+    csv.row({d, acc.mean() * 100, acc.percentile(90) * 100, acc.max() * 100});
   }
   t.print(std::cout);
   std::cout << "\nPaper: error grows with distance (SNR); mean < 5 cm at 5 m and\n"

@@ -7,10 +7,20 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "milback/core/link.hpp"
 
 using namespace milback;
+
+namespace {
+
+struct AnglePoint {
+  double azimuth_deg = 0.0;
+  double distance_m = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto seed = bench::parse_seed(argc, argv);
@@ -21,37 +31,40 @@ int main(int argc, char** argv) {
   auto env_rng = master.fork(1);
   const core::MilBackLink link(bench::make_indoor_channel(env_rng), core::LinkConfig{});
 
-  std::vector<double> errs;
-  int misses = 0;
-  int trial = 0;
+  std::vector<AnglePoint> points;
   for (double az = -25.0; az <= 25.0 + 0.1; az += 5.0) {
-    for (double d : {1.5, 2.0, 3.0}) {
-      for (int k = 0; k < 7; ++k, ++trial) {
-        auto rng = master.fork(std::uint64_t(500 + trial));
-        const channel::NodePose pose{d, az, 10.0};
+    for (double d : {1.5, 2.0, 3.0}) points.push_back({az, d});
+  }
+
+  const sim::TrialRunner runner;
+  const sim::Sweep<AnglePoint> sweep(std::move(points), 7);
+  const auto outcomes = sweep.run<std::optional<double>>(
+      runner,
+      [&](const AnglePoint& pt, std::size_t p, std::size_t k) -> std::optional<double> {
+        auto rng = Rng::stream(seed, p, k);
+        const channel::NodePose pose{pt.distance_m, pt.azimuth_deg, 10.0};
         const auto r = link.localize(pose, rng);
-        if (!r.detected || !r.aoa_offset_deg) {
-          ++misses;
-          continue;
-        }
-        errs.push_back(std::abs(r.angle_deg - az));
-      }
-    }
+        if (!r.detected || !r.aoa_offset_deg) return std::nullopt;
+        return std::abs(r.angle_deg - pt.azimuth_deg);
+      });
+
+  sim::Accumulator acc;
+  for (const auto& point_outcomes : outcomes) {
+    acc.merge(sim::Accumulator::from(point_outcomes));
   }
 
   Table t({"percentile", "error (deg)", "paper (deg)"});
-  t.add_row({"50 (median)", Table::num(median(errs), 2), "1.1"});
-  t.add_row({"90", Table::num(percentile(errs, 90), 2), "2.5"});
-  t.add_row({"99", Table::num(percentile(errs, 99), 2), "-"});
+  t.add_row({"50 (median)", Table::num(acc.median(), 2), "1.1"});
+  t.add_row({"90", Table::num(acc.percentile(90), 2), "2.5"});
+  t.add_row({"99", Table::num(acc.percentile(99), 2), "-"});
   t.print(std::cout);
 
-  std::cout << "\nCDF (" << errs.size() << " trials, " << misses << " misses):\n";
+  std::cout << "\nCDF (" << acc.count() << " trials, " << acc.misses()
+            << " misses):\n";
   Table cdf({"error <= (deg)", "fraction"});
   CsvWriter csv(CsvWriter::env_dir(), "fig12b_angle_cdf", {"error_deg", "cdf"});
   for (double e = 0.5; e <= 5.0 + 0.01; e += 0.5) {
-    std::size_t count = 0;
-    for (const double v : errs) count += std::size_t(v <= e);
-    const double frac = errs.empty() ? 0.0 : double(count) / double(errs.size());
+    const double frac = acc.fraction_below(e);
     cdf.add_row({Table::num(e, 1), Table::num(frac, 3)});
     csv.row({e, frac});
   }

@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "milback/core/link.hpp"
 
@@ -28,28 +29,29 @@ int main(int argc, char** argv) {
   CsvWriter csv(CsvWriter::env_dir(), "fig13b_orient_ap",
                 {"orientation_deg", "mean_deg", "std_deg"});
 
-  const int kTrials = 25;
-  for (double orient : {-25.0, -20.0, -15.0, -10.0, -8.0, -6.0, -4.0, -2.0, 0.0, 5.0,
-                        10.0, 15.0, 20.0, 25.0}) {
-    std::vector<double> errs;
-    int invalid = 0;
-    for (int trial = 0; trial < kTrials; ++trial) {
-      auto rng = master.fork(std::uint64_t(trial * 53 + 9000) +
-                             std::uint64_t(std::llabs(std::llround(orient * 7))));
-      const channel::NodePose pose{2.0, 0.0, orient};
-      const auto est = link.sense_orientation_at_ap(pose, rng);
-      if (!est.valid) {
-        ++invalid;
-        continue;
-      }
-      const double gt_jitter = rng.gaussian(0.0, bench::kProtractorSigmaDeg);
-      errs.push_back(std::abs(est.orientation_deg - (orient + gt_jitter)));
-    }
+  const sim::TrialRunner runner;
+  const sim::Sweep<double> sweep({-25.0, -20.0, -15.0, -10.0, -8.0, -6.0, -4.0, -2.0,
+                                  0.0, 5.0, 10.0, 15.0, 20.0, 25.0},
+                                 25);
+  const auto outcomes = sweep.run<std::optional<double>>(
+      runner,
+      [&](double orient, std::size_t p, std::size_t trial) -> std::optional<double> {
+        auto rng = Rng::stream(seed, p, trial);
+        const channel::NodePose pose{2.0, 0.0, orient};
+        const auto est = link.sense_orientation_at_ap(pose, rng);
+        if (!est.valid) return std::nullopt;
+        const double gt_jitter = rng.gaussian(0.0, bench::kProtractorSigmaDeg);
+        return std::abs(est.orientation_deg - (orient + gt_jitter));
+      });
+
+  for (std::size_t p = 0; p < sweep.points().size(); ++p) {
+    const double orient = sweep.points()[p];
+    const auto acc = sim::Accumulator::from(outcomes[p]);
     const bool mirror_zone = orient >= -6.0 && orient <= -2.0;
-    t.add_row({Table::num(orient, 0), Table::num(mean(errs), 2),
-               Table::num(stddev(errs), 2), std::to_string(invalid),
+    t.add_row({Table::num(orient, 0), Table::num(acc.mean(), 2),
+               Table::num(acc.stddev(), 2), std::to_string(acc.misses()),
                mirror_zone ? "mirror-collision region" : ""});
-    csv.row({orient, mean(errs), stddev(errs)});
+    csv.row({orient, acc.mean(), acc.stddev()});
   }
   t.print(std::cout);
   std::cout << "\nPaper: mean error < 1.5 deg in general, elevated (but < ~3 deg in\n"

@@ -33,28 +33,47 @@ inline int run_fig15(int argc, char** argv, double bit_rate_bps, const char* fig
                 std::string("fig15_uplink_") + Table::num(bit_rate_bps / 1e6, 0) + "mbps",
                 {"distance_m", "snr_db", "ber"});
 
-  rf::RfSwitch sw{rf::RfSwitchConfig{}};
   const double orient = 15.0;
   const auto pair = link.channel().fsa().carrier_pair_for_angle(orient);
   if (!pair) return 1;
 
-  for (double d = 1.0; d <= max_distance_m + 0.1; d += 1.0) {
+  std::vector<double> distances;
+  for (double d = 1.0; d <= max_distance_m + 0.1; d += 1.0) distances.push_back(d);
+
+  struct Row {
+    double distance_m = 0.0;
+    double snr_db = 0.0;
+    double analytic_ber = 0.0;
+    core::UplinkRunResult run{};
+  };
+
+  const sim::TrialRunner runner;
+  const auto rows = runner.map<Row>(distances.size(), [&](std::size_t p) {
+    const double d = distances[p];
     const channel::NodePose pose{d, 0.0, orient};
+    const rf::RfSwitch sw{rf::RfSwitchConfig{}};
     const auto budget_a = channel::compute_uplink_budget(
         link.channel(), pose, antenna::FsaPort::kA, pair->first, sw, bit_rate_bps);
     const auto budget_b = channel::compute_uplink_budget(
         link.channel(), pose, antenna::FsaPort::kB, pair->second, sw, bit_rate_bps);
-    const double snr = std::min(budget_a.snr_db, budget_b.snr_db);
-    const double ber = core::ber_oaqfm(db2lin(budget_a.snr_db), db2lin(budget_b.snr_db));
+    Row row;
+    row.distance_m = d;
+    row.snr_db = std::min(budget_a.snr_db, budget_b.snr_db);
+    row.analytic_ber =
+        core::ber_oaqfm(db2lin(budget_a.snr_db), db2lin(budget_b.snr_db));
 
-    auto rng = master.fork(std::uint64_t(d * 211) + 17);
-    auto data = master.fork(std::uint64_t(d * 223) + 19);
-    const auto run = link.run_uplink(pose, data.bits(4000), rng, bit_rate_bps);
+    auto rng = Rng::stream(seed, p, std::uint64_t{0});
+    auto data = Rng::stream(seed, p, std::uint64_t{1});
+    row.run = link.run_uplink(pose, data.bits(4000), rng, bit_rate_bps);
+    return row;
+  });
 
-    t.add_row({Table::num(d, 0), Table::num(snr, 1), Table::sci(ber, 1),
-               run.carriers_ok ? Table::sci(run.ber, 1) : "n/a",
-               run.carriers_ok ? Table::num(run.measured_snr_db, 1) : "n/a"});
-    csv.row({d, snr, ber});
+  for (const auto& row : rows) {
+    t.add_row({Table::num(row.distance_m, 0), Table::num(row.snr_db, 1),
+               Table::sci(row.analytic_ber, 1),
+               row.run.carriers_ok ? Table::sci(row.run.ber, 1) : "n/a",
+               row.run.carriers_ok ? Table::num(row.run.measured_snr_db, 1) : "n/a"});
+    csv.row({row.distance_m, row.snr_db, row.analytic_ber});
   }
   t.print(std::cout);
   return 0;

@@ -53,9 +53,10 @@ int main(int argc, char** argv) {
 
   Table t({"orientation (deg)", "predicted dt (us)", "measured dt (us)",
            "est. orientation (deg)"});
+  std::size_t p = 0;
   for (double orient : {-20.0, -8.0, 8.0, 20.0}) {
     const channel::NodePose pose{2.0, 0.0, orient};
-    auto rng = master.fork(std::uint64_t((orient + 60) * 13));
+    auto rng = Rng::stream(seed, p++);
     const auto trace = link.node_field1_trace(pose, antenna::FsaPort::kA,
                                               core::LinkDirection::kUplink, rng);
     // Show the first chirp's worth of MCU samples.

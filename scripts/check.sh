@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full correctness gate: static lint, Werror build + tests, then the same
-# suite under AddressSanitizer + UBSan. Exits non-zero on the first failure.
+# Full correctness gate: static lint, Werror build + tests, the same suite
+# under AddressSanitizer + UBSan, then the parallel sim engine under
+# ThreadSanitizer. Exits non-zero on the first failure.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -20,5 +21,12 @@ echo "== asan-ubsan build + tests =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${jobs}"
 ctest --preset asan-ubsan
+
+echo "== tsan build + sim engine tests =="
+# TSan only pays off on the multi-threaded paths: the sim engine suites and
+# the thread-invariance integration tests that drive TrialRunner at >1 worker.
+cmake --preset tsan
+cmake --build --preset tsan -j "${jobs}"
+ctest --preset tsan -R 'TrialRunner|Sweep|Accumulator|ThreadInvariance'
 
 echo "== all checks passed =="

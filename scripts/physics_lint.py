@@ -11,6 +11,12 @@ Rules:
       (_hz, _dbm, _db, _dbi, _dbc, _deg, _rad, _s, _m, _w, _bps, ...).
   R4  include hygiene: every header starts with `#pragma once`; no
       parent-relative (`../`) includes anywhere.
+  R5  threading discipline: no raw std::thread/std::jthread/std::async
+      outside src/milback/sim/ -- parallelism must flow through
+      sim::TrialRunner so thread-count invariance stays provable.
+  R6  stream discipline: no fork() with arithmetic in its label inside
+      bench/ -- ad-hoc seed arithmetic (`fork(a * b + c)`) collides across
+      sweep grids; derive per-trial generators with Rng::stream(seed, ids...).
 
 Exit status is non-zero when any violation is found.
 """
@@ -48,6 +54,14 @@ UNIT_SUFFIX = re.compile(
 DOUBLE_DECL = re.compile(r"\bdouble\s+([a-z][a-z0-9_]*)\s*[,;=){]")
 
 PARENT_INCLUDE = re.compile(r'#include\s+"\.\./')
+
+# R5: raw threading primitives; only the sim engine may spawn threads.
+THREAD_PRIMITIVE = re.compile(r"\bstd::(?:jthread|thread|async)\b")
+THREAD_ALLOWED_PREFIX = "src/milback/sim/"
+
+# R6: fork() whose label is computed with arithmetic -- the collision-prone
+# per-trial seeding pattern that Rng::stream replaces.
+FORK_ARITHMETIC = re.compile(r"\bfork\s*\([^)]*[*+%^]")
 
 COMMENT_LINE = re.compile(r"^\s*(?://|\*|/\*)")
 
@@ -87,6 +101,18 @@ def lint_file(root: Path, path: Path, errors: list[str]) -> None:
 
         if PARENT_INCLUDE.search(raw):
             errors.append(f"{rel}:{i}: [R4] parent-relative #include")
+
+        if not rel.startswith(THREAD_ALLOWED_PREFIX) and THREAD_PRIMITIVE.search(line):
+            errors.append(
+                f"{rel}:{i}: [R5] raw std::thread/std::async outside"
+                " src/milback/sim/ -- use sim::TrialRunner"
+            )
+
+        if rel.startswith("bench/") and FORK_ARITHMETIC.search(line):
+            errors.append(
+                f"{rel}:{i}: [R6] fork() with computed label in bench --"
+                " use Rng::stream(seed, point, trial)"
+            )
 
         if is_public_header:
             for name in DOUBLE_DECL.findall(line):

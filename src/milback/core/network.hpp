@@ -77,6 +77,11 @@ class MilBackNetwork {
 
   /// Runs one uplink service round: every node sends `bits_per_node` random
   /// bits; nodes in the same SDM slot transmit concurrently and interfere.
+  ///
+  /// The per-node work runs on the sim::TrialRunner engine (worker count from
+  /// MILBACK_SIM_THREADS): one stateless Rng stream per node, derived from a
+  /// single draw of `rng`, so the round result is bit-identical at any thread
+  /// count.
   RoundResult run_uplink_round(std::size_t bits_per_node, milback::Rng& rng) const;
 
   /// One node's slice of a downlink round.
@@ -97,7 +102,8 @@ class MilBackNetwork {
 
   /// Runs one downlink round: the AP pushes `bits_per_node` to every node;
   /// concurrent beams within a slot leak into each other through the horn
-  /// pattern, degrading each link's effective SINR.
+  /// pattern, degrading each link's effective SINR. Parallelized like
+  /// run_uplink_round (same thread-count-invariance guarantee).
   DownlinkRoundResult run_downlink_round(std::size_t bits_per_node,
                                          milback::Rng& rng) const;
 
@@ -105,6 +111,30 @@ class MilBackNetwork {
   const MilBackLink& link() const noexcept { return link_; }
 
  private:
+  /// One (slot, node) service of a round, in slot-major order.
+  struct Service {
+    std::size_t slot = 0;
+    std::size_t node = 0;
+  };
+
+  /// Flattens sdm_slots() into slot-major (slot, node) pairs — the engine's
+  /// trial index space for a round.
+  std::vector<Service> flatten_services(
+      const std::vector<std::vector<std::size_t>>& slots) const;
+
+  /// Serves node `sv.node` in slot `sv.slot` of an uplink round.
+  NodeRoundResult serve_uplink_node(const Service& sv,
+                                    const std::vector<std::size_t>& slot_members,
+                                    std::size_t bits_per_node, milback::Rng& data_rng,
+                                    milback::Rng& noise_rng) const;
+
+  /// Serves node `sv.node` in slot `sv.slot` of a downlink round.
+  NodeDownlinkResult serve_downlink_node(const Service& sv,
+                                         const std::vector<std::size_t>& slot_members,
+                                         std::size_t bits_per_node,
+                                         milback::Rng& data_rng,
+                                         milback::Rng& noise_rng) const;
+
   NetworkConfig config_;
   MilBackLink link_;
   std::vector<NetworkNode> nodes_;

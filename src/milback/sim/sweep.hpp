@@ -1,0 +1,55 @@
+// Parameter sweeps over the deterministic trial engine.
+//
+// A Sweep is the grid every reproduction bench walks: a list of sweep points
+// (distances, orientations, ...) with a fixed number of Monte-Carlo trials at
+// each. `run` flattens the (point, trial) grid into a single index space so
+// the runner parallelizes across the whole grid — not just within one point —
+// then regroups results per point in deterministic (point, trial) order.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "milback/sim/trial_runner.hpp"
+
+namespace milback::sim {
+
+template <typename Point>
+class Sweep {
+ public:
+  Sweep(std::vector<Point> points, std::size_t trials_per_point)
+      : points_(std::move(points)), trials_(trials_per_point) {}
+
+  const std::vector<Point>& points() const noexcept { return points_; }
+  std::size_t trials_per_point() const noexcept { return trials_; }
+
+  /// Runs fn(point, point_index, trial_index) -> T for every cell of the
+  /// grid and returns results[point_index][trial_index]. The callable must
+  /// follow the TrialRunner contract: stateless per-(point, trial)
+  /// randomness, no shared mutable state.
+  template <typename T, typename Fn>
+  std::vector<std::vector<T>> run(const TrialRunner& runner, Fn&& fn) const {
+    const std::size_t total = points_.size() * trials_;
+    auto flat = runner.map<T>(total, [&](std::size_t k) {
+      const std::size_t p = k / trials_;
+      const std::size_t t = k % trials_;
+      return fn(points_[p], p, t);
+    });
+    std::vector<std::vector<T>> grouped(points_.size());
+    for (std::size_t p = 0; p < points_.size(); ++p) {
+      const auto first = std::next(flat.begin(), static_cast<std::ptrdiff_t>(p * trials_));
+      grouped[p].assign(std::make_move_iterator(first),
+                        std::make_move_iterator(std::next(
+                            first, static_cast<std::ptrdiff_t>(trials_))));
+    }
+    return grouped;
+  }
+
+ private:
+  std::vector<Point> points_;
+  std::size_t trials_;
+};
+
+}  // namespace milback::sim

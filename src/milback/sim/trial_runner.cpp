@@ -1,0 +1,73 @@
+#include "milback/sim/trial_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "milback/core/contract.hpp"
+
+namespace milback::sim {
+
+int resolve_thread_count(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("MILBACK_SIM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<int>(std::min(v, 1024L));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void TrialRunner::for_each(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) const {
+  MILBACK_REQUIRE(bool(fn), "TrialRunner::for_each: fn must be callable");
+  if (n == 0) return;
+
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic scheduling: workers pull the next free index. Completion order is
+  // arbitrary, but each index runs exactly once and (per the class contract)
+  // writes only its own slot, so results do not depend on the schedule.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Park the shared index past the end so peers stop pulling new work.
+        next.store(n, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();  // The calling thread is worker 0.
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace milback::sim

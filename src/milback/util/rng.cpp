@@ -6,14 +6,16 @@ namespace milback {
 
 double Rng::phase() { return uniform(-kPi, kPi); }
 
+std::uint64_t Rng::mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 Rng Rng::fork(std::uint64_t label) {
   // SplitMix64-style mixing of a fresh draw with the label so that forks with
   // different labels are decorrelated even if requested in a different order.
-  std::uint64_t z = engine_() ^ (label + 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return Rng(z);
+  return Rng(mix64(engine_() ^ (label + kGolden)));
 }
 
 }  // namespace milback

@@ -8,6 +8,7 @@
 #include <complex>
 #include <cstdint>
 #include <random>
+#include <type_traits>
 #include <vector>
 
 namespace milback {
@@ -58,12 +59,39 @@ class Rng {
 
   /// Forks an independent child generator; children with different labels
   /// are decorrelated from each other and from the parent.
+  ///
+  /// NOTE: forking draws from the parent engine, so the child depends on how
+  /// many values the parent produced before the fork. For order-independent
+  /// derivation (parallel trials, sweeps) use the stateless `stream` below.
   Rng fork(std::uint64_t label);
+
+  /// SplitMix64 finalizer: a bijective 64-bit mix, the building block of
+  /// `stream` derivation. Exposed for tests and seed plumbing.
+  static std::uint64_t mix64(std::uint64_t z) noexcept;
+
+  /// Stateless counter-based stream derivation: the returned generator is a
+  /// pure function of (seed, id0, id1, ...) with **no** draw from any parent
+  /// engine, so trial i's stream is identical regardless of construction
+  /// order or thread count. Distinct id tuples give decorrelated streams;
+  /// ids are hashed positionally, so stream(s, 1, 2) != stream(s, 2, 1).
+  template <typename... Ids>
+  static Rng stream(std::uint64_t seed, Ids... ids) {
+    static_assert((std::is_integral_v<Ids> && ...),
+                  "stream ids must be integers (cast floats explicitly)");
+    std::uint64_t h = mix64(seed ^ kStreamSalt);
+    ((h = mix64(h ^ (static_cast<std::uint64_t>(ids) + kGolden))), ...);
+    return Rng(h);
+  }
 
   /// Underlying engine access (for std distributions not wrapped here).
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  /// Domain separator so stream(seed) never equals Rng(seed).
+  static constexpr std::uint64_t kStreamSalt = 0x6d696c2d73696dULL;  // "mil-sim"
+  /// Golden-ratio increment (same constant SplitMix64 uses to step).
+  static constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
   std::mt19937_64 engine_;
 };
 

@@ -1,6 +1,10 @@
 // Multi-node network / SDM tests.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include "milback/core/network.hpp"
 
 namespace milback::core {
@@ -145,6 +149,61 @@ TEST(Network, DownlinkAggregateScalesWithSeparableNodes) {
   const auto round2 = two.run_downlink_round(200, r2);
   ASSERT_EQ(round2.sdm_slots, 1u);  // separable -> concurrent
   EXPECT_GT(round2.aggregate_goodput_bps, 1.5 * round1.aggregate_goodput_bps);
+}
+
+TEST(Network, SdmSlotsPartitionRespectsMinSeparation) {
+  // A deliberately awkward bearing set: clusters, duplicates and spread-out
+  // nodes. The greedy partition must keep every within-slot pair separated
+  // by at least sdm_min_separation_deg.
+  auto net = make_network();
+  const std::vector<double> bearings{-30.0, -28.0, -10.0, -9.0, 0.0, 0.0,
+                                     5.0,   12.0,  19.0,  31.0, 33.0};
+  for (std::size_t i = 0; i < bearings.size(); ++i) {
+    net.add_node("n" + std::to_string(i), {2.0 + 0.1 * double(i), bearings[i], 10.0});
+  }
+  const auto slots = net.sdm_slots();
+  const double min_sep = core::NetworkConfig{}.sdm_min_separation_deg;
+  for (const auto& slot : slots) {
+    for (std::size_t a = 0; a < slot.size(); ++a) {
+      for (std::size_t b = a + 1; b < slot.size(); ++b) {
+        const double sep = std::abs(net.nodes()[slot[a]].pose.azimuth_deg -
+                                    net.nodes()[slot[b]].pose.azimuth_deg);
+        EXPECT_GE(sep, min_sep)
+            << "nodes " << slot[a] << " and " << slot[b] << " share a slot";
+      }
+    }
+  }
+}
+
+TEST(Network, SdmSlotsCoverEveryNodeExactlyOnce) {
+  auto net = make_network();
+  for (int i = 0; i < 9; ++i) {
+    net.add_node("n" + std::to_string(i), {2.0, -40.0 + 10.0 * double(i), 10.0});
+  }
+  std::vector<int> appearances(net.nodes().size(), 0);
+  for (const auto& slot : net.sdm_slots()) {
+    for (const std::size_t i : slot) {
+      ASSERT_LT(i, appearances.size());
+      ++appearances[i];
+    }
+  }
+  for (std::size_t i = 0; i < appearances.size(); ++i) {
+    EXPECT_EQ(appearances[i], 1) << "node " << i;
+  }
+}
+
+TEST(Network, InterNodeIsolationIsSymmetric) {
+  auto net = make_network();
+  net.add_node("a", {2.0, -20.0, 10.0});
+  net.add_node("b", {3.0, 5.0, -5.0});
+  net.add_node("c", {4.5, 33.0, 18.0});
+  for (std::size_t i = 0; i < net.nodes().size(); ++i) {
+    for (std::size_t j = 0; j < net.nodes().size(); ++j) {
+      EXPECT_DOUBLE_EQ(net.inter_node_isolation_db(i, j),
+                       net.inter_node_isolation_db(j, i))
+          << "pair (" << i << ", " << j << ")";
+    }
+  }
 }
 
 TEST(Network, MoreSlotsLowerPerNodeGoodput) {

@@ -1,0 +1,74 @@
+// Sweep: grid flattening, regrouping and thread-count invariance.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "milback/sim/sweep.hpp"
+#include "milback/util/rng.hpp"
+
+namespace milback::sim {
+namespace {
+
+TEST(Sweep, RunsEveryCellAndGroupsByPoint) {
+  const Sweep<double> sweep({10.0, 20.0, 30.0}, 4);
+  const TrialRunner runner(4);
+  const auto out = sweep.run<double>(
+      runner, [](double point, std::size_t p, std::size_t t) {
+        return point + double(p) * 100.0 + double(t);
+      });
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t p = 0; p < 3; ++p) {
+    ASSERT_EQ(out[p].size(), 4u);
+    for (std::size_t t = 0; t < 4; ++t) {
+      EXPECT_EQ(out[p][t], sweep.points()[p] + double(p) * 100.0 + double(t));
+    }
+  }
+}
+
+TEST(Sweep, PointsAndTrialCountAccessors) {
+  const Sweep<int> sweep({1, 2, 3, 4}, 7);
+  EXPECT_EQ(sweep.points().size(), 4u);
+  EXPECT_EQ(sweep.trials_per_point(), 7u);
+}
+
+TEST(Sweep, EmptyPointListYieldsEmptyResults) {
+  const Sweep<double> sweep({}, 5);
+  const TrialRunner runner(2);
+  const auto out =
+      sweep.run<int>(runner, [](double, std::size_t, std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Sweep, ThreadCountDoesNotChangeResults) {
+  const Sweep<double> sweep({1.0, 2.0}, 8);
+  const auto trial = [](double point, std::size_t p, std::size_t t) {
+    auto rng = Rng::stream(7, p, t);
+    return point * rng.uniform(0.0, 1.0) + rng.gaussian();
+  };
+  const auto serial = sweep.run<double>(TrialRunner(1), trial);
+  const auto parallel = sweep.run<double>(TrialRunner(4), trial);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    ASSERT_EQ(serial[p].size(), parallel[p].size());
+    for (std::size_t t = 0; t < serial[p].size(); ++t) {
+      EXPECT_EQ(serial[p][t], parallel[p][t]) << "point " << p << " trial " << t;
+    }
+  }
+}
+
+TEST(Sweep, SupportsOptionalOutcomes) {
+  const Sweep<int> sweep({0, 1}, 3);
+  const TrialRunner runner(2);
+  const auto out = sweep.run<std::optional<double>>(
+      runner, [](int point, std::size_t, std::size_t t) -> std::optional<double> {
+        if (point == 0 && t == 1) return std::nullopt;
+        return double(t);
+      });
+  EXPECT_FALSE(out[0][1].has_value());
+  EXPECT_EQ(out[1][2], 2.0);
+}
+
+}  // namespace
+}  // namespace milback::sim

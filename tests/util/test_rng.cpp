@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <utility>
 
 #include "milback/util/rng.hpp"
 #include "milback/util/stats.hpp"
@@ -105,6 +107,77 @@ TEST(Rng, ForkIsDeterministicGivenParentState) {
 TEST(Rng, DefaultSeedIsFixed) {
   Rng a, b;
   EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, StreamIsAPureFunctionOfItsArguments) {
+  Rng a = Rng::stream(42, 3, 7);
+  Rng b = Rng::stream(42, 3, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, StreamIsIndependentOfConstructionOrder) {
+  // Unlike fork, stream never draws from a parent: deriving other streams
+  // first (in any order) must not change the one under test.
+  Rng direct = Rng::stream(42, 5, 1);
+  auto early = Rng::stream(42, 0, 0);
+  auto other = Rng::stream(42, 9, 9);
+  Rng late = Rng::stream(42, 5, 1);
+  (void)early.uniform(0.0, 1.0);
+  (void)other.uniform(0.0, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(direct.uniform(0.0, 1.0), late.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, StreamIdsArePositional) {
+  Rng ab = Rng::stream(1, 2, 3);
+  Rng ba = Rng::stream(1, 3, 2);
+  Rng prefix = Rng::stream(1, 2);
+  int same_ab = 0, same_prefix = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double x = ab.uniform(0.0, 1.0);
+    same_ab += x == ba.uniform(0.0, 1.0);
+    same_prefix += x == prefix.uniform(0.0, 1.0);
+  }
+  EXPECT_LT(same_ab, 5);
+  EXPECT_LT(same_prefix, 5);
+}
+
+TEST(Rng, StreamDiffersFromPlainSeedConstruction) {
+  Rng streamed = Rng::stream(42);
+  Rng seeded(42);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += streamed.uniform(0.0, 1.0) == seeded.uniform(0.0, 1.0);
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, StreamsAcrossSweepGridArePairwiseDistinct) {
+  // Regression for the ad-hoc bench seed arithmetic this replaced:
+  // fork((100 + trial) * 1009 + uint64(d * 13)) collides across (trial,
+  // distance) pairs because the distance term is truncated to a handful of
+  // values. A (seed, point, trial) stream grid must never collide: compare
+  // the first two draws of every cell over a fig12a-sized grid.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  const std::size_t points = 8, trials = 25;
+  for (std::size_t p = 0; p < points; ++p) {
+    for (std::size_t t = 0; t < trials; ++t) {
+      auto rng = Rng::stream(42, p, t);
+      const auto key = std::make_pair(rng.engine()(), rng.engine()());
+      EXPECT_TRUE(seen.insert(key).second)
+          << "stream collision at point " << p << " trial " << t;
+    }
+  }
+  EXPECT_EQ(seen.size(), points * trials);
+}
+
+TEST(Rng, Mix64IsDeterministicAndMixes) {
+  EXPECT_EQ(Rng::mix64(1), Rng::mix64(1));
+  EXPECT_NE(Rng::mix64(1), Rng::mix64(2));
+  EXPECT_NE(Rng::mix64(1), 1u);  // must not act as the identity
 }
 
 }  // namespace
