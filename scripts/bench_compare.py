@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON report against a committed baseline.
+
+Usage:
+    bench_compare.py CURRENT.json [--baseline BASELINE.json] [--tolerance 0.15]
+
+Benchmarks are matched by name; a benchmark is a regression when its cpu_time
+exceeds the baseline by more than the tolerance (default 15%). Exit status is
+non-zero if any benchmark regresses. Benchmarks present on only one side are
+reported but do not fail the comparison (new kernels appear, old ones retire).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "baselines" / "BENCH_perf_pipeline.json"
+
+# Everything is converted to nanoseconds before comparing.
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path: pathlib.Path) -> dict[str, float]:
+    """Maps benchmark name -> cpu_time in ns (aggregates are skipped)."""
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+    times: dict[str, float] = {}
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        unit = TIME_UNIT_NS.get(entry.get("time_unit", "ns"))
+        if unit is None:
+            raise SystemExit(f"{path}: unknown time_unit in {entry['name']}")
+        times[entry["name"]] = float(entry["cpu_time"]) * unit
+    return times
+
+
+def fmt_ns(ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=pathlib.Path,
+                        help="freshly generated google-benchmark JSON report")
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+                        help=f"baseline JSON (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional slowdown before failing (default 0.15)")
+    args = parser.parse_args()
+
+    if not args.baseline.exists():
+        print(f"bench_compare: baseline {args.baseline} not found; nothing to compare")
+        return 0
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+
+    regressions = []
+    shared = sorted(set(baseline) & set(current))
+    for name in shared:
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else float("inf")
+        delta = 100.0 * (ratio - 1.0)
+        marker = " "
+        if ratio > 1.0 + args.tolerance:
+            marker = "!"
+            regressions.append((name, ratio))
+        print(f"  {marker} {name:45s} {fmt_ns(baseline[name]):>10s} -> "
+              f"{fmt_ns(current[name]):>10s}  ({delta:+.1f}%)")
+
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  ? {name}: in baseline only (retired?)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  + {name}: new benchmark, no baseline")
+
+    if not shared:
+        print("bench_compare: no shared benchmark names between reports")
+        return 1
+    if regressions:
+        print(f"\nbench_compare: FAIL — {len(regressions)} benchmark(s) regressed "
+              f"beyond {args.tolerance:.0%}:")
+        for name, ratio in regressions:
+            print(f"    {name}: {ratio:.2f}x baseline")
+        return 1
+    print(f"\nbench_compare: OK — {len(shared)} benchmarks within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

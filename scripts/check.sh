@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full correctness gate: static lint, Werror build + tests, the same suite
-# under AddressSanitizer + UBSan, then the parallel sim engine under
-# ThreadSanitizer. Exits non-zero on the first failure.
+# under AddressSanitizer + UBSan, the parallel sim engine under
+# ThreadSanitizer, then the perf pipeline against its committed baseline.
+# Exits non-zero on the first failure.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -28,5 +29,12 @@ echo "== tsan build + sim engine tests =="
 cmake --preset tsan
 cmake --build --preset tsan -j "${jobs}"
 ctest --preset tsan -R 'TrialRunner|Sweep|Accumulator|ThreadInvariance'
+
+echo "== perf pipeline vs committed baseline =="
+# The dev preset was built above; rerun the perf suite and fail on >15%
+# regression against bench/baselines/BENCH_perf_pipeline.json.
+./build-dev/bench/bench_perf_pipeline --benchmark_min_time=0.2 \
+    --json build-dev/BENCH_perf_pipeline.json
+python3 scripts/bench_compare.py build-dev/BENCH_perf_pipeline.json
 
 echo "== all checks passed =="

@@ -17,6 +17,10 @@ Rules:
   R6  stream discipline: no fork() with arithmetic in its label inside
       bench/ -- ad-hoc seed arithmetic (`fork(a * b + c)`) collides across
       sweep grids; derive per-trial generators with Rng::stream(seed, ids...).
+  R7  phasor discipline: no per-sample `std::cos(...), std::sin(...)` phasor
+      construction in src/ outside src/milback/dsp/ -- synthesis loops must
+      use dsp::PhasorOscillator (one complex multiply per sample) so tone and
+      chirp generation stays O(1) trig per chirp.
 
 Exit status is non-zero when any violation is found.
 """
@@ -62,6 +66,11 @@ THREAD_ALLOWED_PREFIX = "src/milback/sim/"
 # R6: fork() whose label is computed with arithmetic -- the collision-prone
 # per-trial seeding pattern that Rng::stream replaces.
 FORK_ARITHMETIC = re.compile(r"\bfork\s*\([^)]*[*+%^]")
+
+# R7: a complex phasor built from a cos/sin pair -- the per-sample-trig
+# synthesis idiom that dsp::PhasorOscillator replaces.
+TRIG_PHASOR = re.compile(r"std::cos\s*\([^()]*(?:\([^()]*\)[^()]*)*\)\s*,\s*std::sin\s*\(")
+TRIG_PHASOR_ALLOWED_PREFIX = "src/milback/dsp/"
 
 COMMENT_LINE = re.compile(r"^\s*(?://|\*|/\*)")
 
@@ -112,6 +121,16 @@ def lint_file(root: Path, path: Path, errors: list[str]) -> None:
             errors.append(
                 f"{rel}:{i}: [R6] fork() with computed label in bench --"
                 " use Rng::stream(seed, point, trial)"
+            )
+
+        if (
+            rel.startswith("src/")
+            and not rel.startswith(TRIG_PHASOR_ALLOWED_PREFIX)
+            and TRIG_PHASOR.search(line)
+        ):
+            errors.append(
+                f"{rel}:{i}: [R7] cos/sin phasor pair outside src/milback/dsp/"
+                " -- use dsp::PhasorOscillator"
             )
 
         if is_public_header:

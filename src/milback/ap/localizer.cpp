@@ -88,64 +88,95 @@ Localizer::BurstPair Localizer::synthesize_burst(
   const auto env = fsa_sweep_envelope(channel, pose, true_chirp, fs, n);
   const double noise_w = channel.ap_noise_floor_w(fs);
 
+  // Build the two path lists once; only the state-dependent amplitudes and
+  // the per-chirp clutter drift change inside the burst loop. Backscatter
+  // power is linear in the reflection coefficient, so the node and ghost
+  // paths are queried at unit reflection and rescaled per chirp — this
+  // hoists the ghost-geometry query and the per-sample FSA envelope copies
+  // out of the per-chirp loop.
+  const double p_node_unit_w =
+      dbm2watt(channel.backscatter_power_dbm(FsaPort::kA, f_node, pose, 1.0));
+  const auto ghosts =
+      config_.include_multipath_ghosts
+          ? channel.node_ghost_returns(FsaPort::kA, f_node, pose, 1.0)
+          : std::vector<channel::ReturnPath>{};
+
+  std::vector<radar::PathContribution> paths0, paths1;
+  paths0.reserve(2 + ghosts.size() + clutter.size());
+  paths1.reserve(2 + ghosts.size() + clutter.size());
+
+  // Node return through port A (port B absorbs throughout Field 2).
+  radar::PathContribution node_path;
+  node_path.delay_s = channel::round_trip_delay_s(pose.distance_m);
+  node_path.envelope = env;
+  paths0.push_back(node_path);
+  node_path.extra_phase_rad = aoa_phase;
+  paths1.push_back(std::move(node_path));
+
+  // Mirror reflection: static part + switching-correlated leakage.
+  radar::PathContribution mirror_path;
+  mirror_path.delay_s = channel::round_trip_delay_s(pose.distance_m);
+  mirror_path.extra_phase_rad = mirror_phase;
+  paths0.push_back(mirror_path);
+  mirror_path.extra_phase_rad = mirror_phase + aoa_phase;
+  paths1.push_back(mirror_path);
+
+  // Multipath ghosts of the node's return: modulated like the node itself,
+  // so they survive subtraction and appear as weaker, longer-range targets.
+  for (const auto& g : ghosts) {
+    radar::PathContribution gp;
+    gp.delay_s = g.delay_s;
+    gp.envelope = env;
+    paths0.push_back(gp);
+    const double g_offset = g.azimuth_deg - steered_azimuth_deg;
+    gp.extra_phase_rad = radar::offset_to_phase_rad(g_offset, config_.aoa);
+    paths1.push_back(std::move(gp));
+  }
+
+  // Static clutter: delays and AoA phases are burst-constant, the
+  // chirp-to-chirp drift (which limits subtraction depth) is drawn per chirp.
+  std::vector<double> clutter_aoa_phase_rad;
+  clutter_aoa_phase_rad.reserve(clutter.size());
+  for (const auto& c : clutter) {
+    radar::PathContribution cp;
+    cp.delay_s = c.delay_s;
+    paths0.push_back(cp);
+    paths1.push_back(cp);
+    clutter_aoa_phase_rad.push_back(
+        radar::offset_to_phase_rad(c.azimuth_deg - steered_azimuth_deg, config_.aoa));
+  }
+
   BurstPair burst;
   burst.rx0.reserve(port_a_states.size());
   burst.rx1.reserve(port_a_states.size());
 
+  const std::size_t clutter_base = 2 + ghosts.size();
   for (const auto state : port_a_states) {
-    std::vector<radar::PathContribution> paths0, paths1;
-
-    // Node return through port A (port B absorbs throughout Field 2).
     const double refl = node_switch.reflection_power(state);
-    const double p_node_dbm =
-        channel.backscatter_power_dbm(FsaPort::kA, f_node, pose, refl);
-    radar::PathContribution node_path;
-    node_path.delay_s = channel::round_trip_delay_s(pose.distance_m);
-    node_path.amplitude = std::sqrt(dbm2watt(p_node_dbm));
-    node_path.envelope = env;
-    paths0.push_back(node_path);
-    node_path.extra_phase_rad = aoa_phase;
-    paths1.push_back(node_path);
+    const double a_node = std::sqrt(p_node_unit_w * refl);
+    paths0[0].amplitude = a_node;
+    paths1[0].amplitude = a_node;
 
-    // Mirror reflection: static part + switching-correlated leakage.
     const double mod = state == rf::SwitchState::kReflect
                            ? config_.mirror.modulation_leakage
                            : -config_.mirror.modulation_leakage;
-    radar::PathContribution mirror_path;
-    mirror_path.delay_s = node_path.delay_s;
-    mirror_path.amplitude = a_mirror * (1.0 + mod);
-    mirror_path.extra_phase_rad = mirror_phase;
-    paths0.push_back(mirror_path);
-    mirror_path.extra_phase_rad = mirror_phase + aoa_phase;
-    paths1.push_back(mirror_path);
+    paths0[1].amplitude = a_mirror * (1.0 + mod);
+    paths1[1].amplitude = paths0[1].amplitude;
 
-    // Multipath ghosts of the node's return: modulated like the node itself,
-    // so they survive subtraction and appear as weaker, longer-range targets.
-    if (config_.include_multipath_ghosts) {
-      for (const auto& g : channel.node_ghost_returns(FsaPort::kA, f_node, pose, refl)) {
-        radar::PathContribution gp;
-        gp.delay_s = g.delay_s;
-        gp.amplitude = std::sqrt(g.power_w);
-        gp.envelope = env;
-        paths0.push_back(gp);
-        const double g_offset = g.azimuth_deg - steered_azimuth_deg;
-        gp.extra_phase_rad = radar::offset_to_phase_rad(g_offset, config_.aoa);
-        paths1.push_back(gp);
-      }
+    for (std::size_t g = 0; g < ghosts.size(); ++g) {
+      const double a_ghost = std::sqrt(ghosts[g].power_w * refl);
+      paths0[2 + g].amplitude = a_ghost;
+      paths1[2 + g].amplitude = a_ghost;
     }
 
-    // Static clutter with chirp-to-chirp drift (limits subtraction depth).
-    for (const auto& c : clutter) {
+    for (std::size_t c = 0; c < clutter.size(); ++c) {
       const double drift_a = 1.0 + rng.gaussian(0.0, channel.config().chirp_amplitude_drift);
       const double drift_p = rng.gaussian(0.0, channel.config().chirp_phase_drift_rad);
-      radar::PathContribution cp;
-      cp.delay_s = c.delay_s;
-      cp.amplitude = std::sqrt(c.power_w) * drift_a;
-      cp.extra_phase_rad = drift_p;
-      paths0.push_back(cp);
-      const double c_offset = c.azimuth_deg - steered_azimuth_deg;
-      cp.extra_phase_rad = drift_p + radar::offset_to_phase_rad(c_offset, config_.aoa);
-      paths1.push_back(cp);
+      const double a_clutter = std::sqrt(clutter[c].power_w) * drift_a;
+      paths0[clutter_base + c].amplitude = a_clutter;
+      paths1[clutter_base + c].amplitude = a_clutter;
+      paths0[clutter_base + c].extra_phase_rad = drift_p;
+      paths1[clutter_base + c].extra_phase_rad = drift_p + clutter_aoa_phase_rad[c];
     }
 
     burst.rx0.push_back(

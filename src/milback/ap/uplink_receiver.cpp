@@ -50,20 +50,25 @@ ToneDemod demodulate_tone(const channel::BackscatterChannel& channel,
   // Static clutter reflecting the same tone arrives as a DC phasor.
   double clutter_w = 0.0;
   for (const auto& c : channel.clutter_returns(f_hz, pose)) clutter_w += c.power_w;
-  const cplx static_phasor = std::sqrt(clutter_w) * std::exp(cplx{0.0, rng.phase()});
+  const cplx static_phasor = std::polar(std::sqrt(clutter_w), rng.phase());
 
   // Node carrier phase (round-trip at 28 GHz: effectively random per burst).
-  const cplx node_phase = std::exp(cplx{0.0, rng.phase()});
+  const cplx node_phase = std::polar(1.0, rng.phase());
 
   // Effective noise: thermal + multiplicative residual SI, referenced to the
   // "reflect" received power, spread over the simulated bandwidth fs.
   const double p_on_w = p_unit_w * sw.reflection_power(rf::SwitchState::kReflect);
   const double noise_w = channel.effective_uplink_noise_w(p_on_w, fs);
 
+  // Bulk AWGN fill (the dominant per-sample cost), then superpose the
+  // deterministic node + clutter phasors with the burst-constant factors
+  // hoisted out of the loop.
   std::vector<cplx> y(gamma.size());
+  rng.fill_complex_gaussian(y.data(), y.size(), noise_w);
+  const double sqrt_p_unit = std::sqrt(p_unit_w);
   for (std::size_t i = 0; i < gamma.size(); ++i) {
-    const double amp = std::sqrt(p_unit_w * std::max(gamma[i], 0.0));
-    y[i] = amp * node_phase + static_phasor + rng.complex_gaussian(noise_w);
+    const double amp = sqrt_p_unit * std::sqrt(std::max(gamma[i], 0.0));
+    y[i] += amp * node_phase + static_phasor;
   }
 
   // (1) AC coupling / BPF: remove the burst mean.

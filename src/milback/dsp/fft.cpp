@@ -1,45 +1,11 @@
 #include "milback/dsp/fft.hpp"
 
 #include <cmath>
-#include <numbers>
 
 #include "milback/core/contract.hpp"
+#include "milback/dsp/fft_plan.hpp"
 
 namespace milback::dsp {
-
-namespace {
-
-// Bit-reversal permutation, then iterative Cooley-Tukey butterflies.
-// `sign` is -1 for the forward transform, +1 for the inverse.
-void transform(std::vector<cplx>& x, int sign) {
-  const std::size_t n = x.size();
-  MILBACK_REQUIRE(n != 0, "fft: empty input");
-  MILBACK_REQUIRE(is_pow2(n), "fft: size must be a power of two");
-
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
-  }
-
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = double(sign) * 2.0 * std::numbers::pi / double(len);
-    const cplx wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      cplx w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const cplx u = x[i + k];
-        const cplx v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
-
-}  // namespace
 
 std::size_t next_pow2(std::size_t n) noexcept {
   std::size_t p = 1;
@@ -49,12 +15,21 @@ std::size_t next_pow2(std::size_t n) noexcept {
 
 bool is_pow2(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
 
-void fft_inplace(std::vector<cplx>& x) { transform(x, -1); }
+// The transform entry points execute against the process-wide plan cache:
+// twiddles and bit-reversal indices are computed once per size, and the
+// planned butterflies are bit-identical to the legacy on-the-fly loop
+// (see dsp/fft_plan.hpp for the accuracy policy).
+
+void fft_inplace(std::vector<cplx>& x) {
+  MILBACK_REQUIRE(!x.empty(), "fft: empty input");
+  MILBACK_REQUIRE(is_pow2(x.size()), "fft: size must be a power of two");
+  fft_plan(x.size()).forward(x.data());
+}
 
 void ifft_inplace(std::vector<cplx>& x) {
-  transform(x, +1);
-  const double inv = 1.0 / double(x.size());
-  for (auto& v : x) v *= inv;
+  MILBACK_REQUIRE(!x.empty(), "fft: empty input");
+  MILBACK_REQUIRE(is_pow2(x.size()), "fft: size must be a power of two");
+  fft_plan(x.size()).inverse(x.data());
 }
 
 std::vector<cplx> fft(std::vector<cplx> x) {
@@ -69,9 +44,17 @@ std::vector<cplx> ifft(std::vector<cplx> x) {
 }
 
 std::vector<cplx> fft_real(const std::vector<double>& x) {
-  std::vector<cplx> cx(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = cplx{x[i], 0.0};
-  return fft(std::move(cx));
+  // Size the padded buffer once up front instead of converting at the input
+  // length and re-padding (which reallocated and copied for non-pow2 sizes).
+  const std::size_t n = next_pow2(x.size());
+  std::vector<cplx> out;
+  if (n < 2) {
+    out.assign(n, cplx{x.empty() ? 0.0 : x[0], 0.0});
+    return out;
+  }
+  // Half-size packed transform: ~2x fewer butterflies than the complex path.
+  fft_plan(n).forward_real(x, out);
+  return out;
 }
 
 std::vector<double> power_spectrum(const std::vector<cplx>& spectrum) {

@@ -1,0 +1,140 @@
+#include "milback/dsp/fft_plan.hpp"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <numbers>
+#include <unordered_map>
+
+#include "milback/core/contract.hpp"
+#include "milback/dsp/fft.hpp"
+
+namespace milback::dsp {
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  MILBACK_REQUIRE(is_pow2(n), "FftPlan: size must be a nonzero power of two");
+
+  // Bit-reversal permutation, recorded as the swap partner of each index
+  // (j < i entries are the already-swapped mirror and are skipped at
+  // execution time exactly like the in-loop variant did).
+  bitrev_.resize(n);
+  for (std::size_t i = 0, j = 0; i < n; ++i) {
+    bitrev_[i] = std::uint32_t(j);
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+  }
+
+  // Per-stage twiddle tables. Each stage `len` stores the len/2 values the
+  // legacy loop produced by repeated multiplication `w *= wlen`; keeping the
+  // same recurrence (instead of calling cos/sin per entry) keeps planned
+  // transforms bit-identical to the reference implementation.
+  fwd_.reserve(n - 1);
+  inv_.reserve(n - 1);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    for (const int sign : {-1, +1}) {
+      auto& table = sign < 0 ? fwd_ : inv_;
+      const double angle = double(sign) * 2.0 * std::numbers::pi / double(len);
+      const cplx wlen(std::cos(angle), std::sin(angle));
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        table.push_back(w);
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void FftPlan::execute(cplx* x, const std::vector<cplx>& twiddle) const noexcept {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  const cplx* stage = twiddle.data();
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n_; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cplx u = x[i + k];
+        const cplx v = x[i + k + half] * stage[k];
+        x[i + k] = u + v;
+        x[i + k + half] = u - v;
+      }
+    }
+    stage += half;
+  }
+}
+
+void FftPlan::forward(cplx* x) const noexcept { execute(x, fwd_); }
+
+void FftPlan::forward(std::vector<cplx>& x) const {
+  MILBACK_REQUIRE(x.size() == n_, "FftPlan::forward: length != plan size");
+  execute(x.data(), fwd_);
+}
+
+void FftPlan::inverse(cplx* x) const noexcept {
+  execute(x, inv_);
+  const double scale = 1.0 / double(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] *= scale;
+}
+
+void FftPlan::inverse(std::vector<cplx>& x) const {
+  MILBACK_REQUIRE(x.size() == n_, "FftPlan::inverse: length != plan size");
+  inverse(x.data());
+}
+
+void FftPlan::forward_real(const std::vector<double>& x,
+                           std::vector<cplx>& out) const {
+  MILBACK_REQUIRE(n_ >= 2, "FftPlan::forward_real: plan size must be >= 2");
+  MILBACK_REQUIRE(x.size() <= n_, "FftPlan::forward_real: input longer than plan");
+  const std::size_t half = n_ / 2;
+  out.assign(n_, cplx{0.0, 0.0});
+
+  // Pack adjacent real samples into complex pairs z[j] = x[2j] + i*x[2j+1]
+  // and transform with the half-size plan (shared via the cache).
+  for (std::size_t j = 0; 2 * j < x.size(); ++j) {
+    const double re = x[2 * j];
+    const double im = 2 * j + 1 < x.size() ? x[2 * j + 1] : 0.0;
+    out[j] = cplx{re, im};
+  }
+  fft_plan(half).forward(out.data());
+
+  // Untangle: with E/O the half-length DFTs of the even/odd samples,
+  //   E[k] = (Z[k] + conj(Z[half-k]))/2,  O[k] = -i (Z[k] - conj(Z[half-k]))/2,
+  //   X[k] = E[k] + W^k O[k],  X[k+half] = E[k] - W^k O[k],  W = e^{-2*pi*i/n}.
+  // W^k is exactly the last forward stage's twiddle table.
+  const cplx* w = fwd_.data() + (half - 1);
+  const cplx z0 = out[0];
+  out[0] = cplx{z0.real() + z0.imag(), 0.0};
+  out[half] = cplx{z0.real() - z0.imag(), 0.0};
+  for (std::size_t k = 1; 2 * k < half; ++k) {
+    const std::size_t m = half - k;
+    const cplx zk = out[k];
+    const cplx zm = out[m];
+    const cplx ek = 0.5 * (zk + std::conj(zm));
+    const cplx ok = cplx{0.0, -0.5} * (zk - std::conj(zm));
+    const cplx wok = w[k] * ok;
+    const cplx wom = w[m] * std::conj(ok);
+    out[k] = ek + wok;
+    out[k + half] = ek - wok;
+    out[m] = std::conj(ek) + wom;
+    out[m + half] = std::conj(ek) - wom;
+  }
+  if (half >= 2) {
+    // Self-paired bin k = half/2: E = Re(Z), O = Im(Z), W^{n/4} = -i.
+    const std::size_t q = half / 2;
+    out[q] = std::conj(out[q]);
+    out[q + half] = std::conj(out[q]);
+  }
+}
+
+const FftPlan& fft_plan(std::size_t n) {
+  static std::mutex mutex;
+  static std::unordered_map<std::size_t, std::unique_ptr<const FftPlan>> cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_unique<const FftPlan>(n);
+  return *slot;
+}
+
+}  // namespace milback::dsp

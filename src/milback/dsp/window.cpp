@@ -1,7 +1,11 @@
 #include "milback/dsp/window.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <numbers>
+#include <unordered_map>
 
 #include "milback/core/contract.hpp"
 
@@ -60,6 +64,28 @@ double enbw_bins(const std::vector<double>& w) noexcept {
   }
   if (sum == 0.0) return 0.0;
   return double(w.size()) * sum2 / (sum * sum);
+}
+
+const CachedWindow& cached_window(WindowType type, std::size_t n) {
+  static std::mutex mutex;
+  static std::unordered_map<std::uint64_t, std::unique_ptr<const CachedWindow>> cache;
+  // Window lengths are sample counts per chirp/burst — far below 2^56.
+  const std::uint64_t key =
+      (std::uint64_t(type) << 56) | (std::uint64_t(n) & ((1ULL << 56) - 1));
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = cache[key];
+  if (!slot) {
+    auto entry = std::make_unique<CachedWindow>();
+    entry->samples = make_window(type, n);
+    entry->coherent_gain_lin = coherent_gain(entry->samples);
+    entry->enbw_bins = enbw_bins(entry->samples);
+    entry->normalized = entry->samples;
+    if (entry->coherent_gain_lin > 0.0) {
+      for (double& v : entry->normalized) v /= entry->coherent_gain_lin;
+    }
+    slot = std::move(entry);
+  }
+  return *slot;
 }
 
 }  // namespace milback::dsp

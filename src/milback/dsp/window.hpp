@@ -30,4 +30,19 @@ double coherent_gain(const std::vector<double>& w) noexcept;
 /// Equivalent noise bandwidth in bins: n*sum(w^2)/sum(w)^2.
 double enbw_bins(const std::vector<double>& w) noexcept;
 
+/// One window shape at one length, with the derived scalars every consumer
+/// used to recompute per call. Immutable once built.
+struct CachedWindow {
+  std::vector<double> samples;     ///< make_window(type, n).
+  std::vector<double> normalized;  ///< samples / coherent gain (peak-preserving).
+  double coherent_gain_lin = 0.0;  ///< coherent_gain(samples).
+  double enbw_bins = 0.0;          ///< enbw_bins(samples).
+};
+
+/// Process-wide, thread-safe window cache keyed by (type, length). Returns a
+/// reference to the shared immutable entry, building it on first use; the
+/// reference stays valid for the program lifetime. Entries are pure
+/// functions of the key, so results are identical at any worker count.
+const CachedWindow& cached_window(WindowType type, std::size_t n);
+
 }  // namespace milback::dsp

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "milback/core/contract.hpp"
+#include "milback/dsp/oscillator.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::radar {
@@ -13,7 +14,9 @@ double dechirp_phase_rad(const ChirpConfig& chirp, double tau_s) noexcept {
 }
 
 std::size_t samples_per_chirp(const ChirpConfig& chirp, double fs) noexcept {
-  return std::size_t(chirp.duration_s * fs);
+  // Round rather than truncate: duration * fs lands at 899.999... for exact
+  // 900-sample products, and truncation silently dropped the last sample.
+  return std::size_t(std::llround(chirp.duration_s * fs));
 }
 
 std::vector<cplx> synthesize_beat(const std::vector<PathContribution>& paths,
@@ -24,26 +27,43 @@ std::vector<cplx> synthesize_beat(const std::vector<PathContribution>& paths,
   require_non_negative(noise_power_w, "noise_power_w");
   std::vector<cplx> beat(n_samples, cplx{0.0, 0.0});
   const double slope = chirp.slope_hz_per_s();
+  // Triangular chirps flip the beat sign on the down-leg: samples with
+  // t > duration/2 run at -f_beat (matching the actual sweep direction).
+  std::size_t flip = n_samples;
+  if (chirp.shape == ChirpShape::kTriangular) {
+    while (flip > 0 && double(flip - 1) / fs > chirp.duration_s / 2.0) --flip;
+  }
   for (const auto& p : paths) {
     MILBACK_REQUIRE(p.envelope.empty() || p.envelope.size() == n_samples,
                     "synthesize_beat: envelope length mismatch");
     const double f_beat = slope * p.delay_s;
     const double phi0 = dechirp_phase_rad(chirp, p.delay_s) + p.extra_phase_rad;
-    for (std::size_t i = 0; i < n_samples; ++i) {
-      const double t = double(i) / fs;
-      double f_inst = f_beat;
-      // Triangular chirps flip the beat sign on the down-leg; handled by
-      // evaluating against the actual sweep direction at time t.
-      if (chirp.shape == ChirpShape::kTriangular && t > chirp.duration_s / 2.0) {
-        f_inst = -f_beat;
+    const double step = 2.0 * kPi * f_beat / fs;
+    // Each constant-frequency leg is a phasor rotation — one complex
+    // multiply per sample instead of a cos/sin pair.
+    dsp::PhasorOscillator up(phi0, step);
+    if (p.envelope.empty()) {
+      const double a = p.amplitude;
+      for (std::size_t i = 0; i < flip; ++i) beat[i] += a * up.next();
+    } else {
+      for (std::size_t i = 0; i < flip; ++i) {
+        beat[i] += p.amplitude * p.envelope[i] * up.next();
       }
-      const double ph = 2.0 * kPi * f_inst * t + phi0;
-      const double a = p.amplitude * (p.envelope.empty() ? 1.0 : p.envelope[i]);
-      beat[i] += a * cplx{std::cos(ph), std::sin(ph)};
+    }
+    if (flip < n_samples) {
+      dsp::PhasorOscillator down(phi0 - step * double(flip), -step);
+      if (p.envelope.empty()) {
+        const double a = p.amplitude;
+        for (std::size_t i = flip; i < n_samples; ++i) beat[i] += a * down.next();
+      } else {
+        for (std::size_t i = flip; i < n_samples; ++i) {
+          beat[i] += p.amplitude * p.envelope[i] * down.next();
+        }
+      }
     }
   }
   if (noise_power_w > 0.0) {
-    for (auto& v : beat) v += rng.complex_gaussian(noise_power_w);
+    rng.add_complex_gaussian(beat.data(), beat.size(), noise_power_w);
   }
   return beat;
 }

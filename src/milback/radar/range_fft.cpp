@@ -1,6 +1,8 @@
 #include "milback/radar/range_fft.hpp"
 
+#include "milback/core/contract.hpp"
 #include "milback/dsp/fft.hpp"
+#include "milback/dsp/fft_plan.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::radar {
@@ -21,16 +23,27 @@ RangeSpectrum range_fft(const std::vector<std::complex<double>>& beat, double fs
   out.fs = fs;
   out.slope_hz_per_s = chirp.slope_hz_per_s();
 
-  const auto w = dsp::make_window(config.window, beat.size());
-  const double cg = dsp::coherent_gain(w);
-  std::vector<std::complex<double>> x(beat.size());
-  for (std::size_t i = 0; i < beat.size(); ++i) {
-    x[i] = beat[i] * (cg > 0.0 ? w[i] / cg : w[i]);  // renormalize peak amplitude
+  // An explicit fft_size must actually hold the windowed signal; the legacy
+  // behavior silently padded past a too-small request, which made the
+  // configured resolution a lie.
+  if (config.fft_size != 0) {
+    MILBACK_REQUIRE(dsp::is_pow2(config.fft_size),
+                    "range_fft: fft_size must be a power of two");
+    MILBACK_REQUIRE(config.fft_size >= beat.size(),
+                    "range_fft: fft_size smaller than the windowed signal");
   }
   const std::size_t n =
       config.fft_size ? config.fft_size : dsp::next_pow2(beat.size());
-  x.resize(std::max(n, dsp::next_pow2(beat.size())), {0.0, 0.0});
-  out.bins = dsp::fft(std::move(x));
+
+  // Cached peak-normalized window, then execute the shared plan in place on
+  // the output buffer — one allocation (the spectrum itself), no per-call
+  // window or twiddle recomputation.
+  const auto& w = dsp::cached_window(config.window, beat.size());
+  out.bins.assign(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < beat.size(); ++i) {
+    out.bins[i] = beat[i] * w.normalized[i];
+  }
+  dsp::fft_plan(n).forward(out.bins.data());
   return out;
 }
 

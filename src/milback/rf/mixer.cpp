@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "milback/dsp/oscillator.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::rf {
@@ -17,10 +18,9 @@ std::vector<std::complex<double>> Mixer::downconvert(
   const double scale = amplitude_scale();
   const double leak_amp =
       std::sqrt(dbm2watt(lo_drive_dbm + config_.lo_leakage_db));
+  dsp::PhasorOscillator lo(0.0, -2.0 * kPi * f_lo_offset_hz / fs);
   for (std::size_t n = 0; n < rf.size(); ++n) {
-    const double ph = -2.0 * kPi * f_lo_offset_hz * double(n) / fs;
-    const std::complex<double> lo{std::cos(ph), std::sin(ph)};
-    out[n] = rf[n] * lo * scale + std::complex<double>{leak_amp, 0.0};
+    out[n] = rf[n] * lo.next() * scale + std::complex<double>{leak_amp, 0.0};
   }
   return out;
 }

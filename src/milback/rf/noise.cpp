@@ -24,12 +24,12 @@ std::vector<double> awgn_real(std::size_t n, double power_w, milback::Rng& rng) 
 std::vector<std::complex<double>> awgn_complex(std::size_t n, double power_w,
                                                milback::Rng& rng) {
   std::vector<std::complex<double>> out(n);
-  for (auto& v : out) v = rng.complex_gaussian(std::max(power_w, 0.0));
+  rng.fill_complex_gaussian(out.data(), out.size(), std::max(power_w, 0.0));
   return out;
 }
 
 void add_awgn(std::vector<std::complex<double>>& x, double power_w, milback::Rng& rng) {
-  for (auto& v : x) v += rng.complex_gaussian(std::max(power_w, 0.0));
+  rng.add_complex_gaussian(x.data(), x.size(), std::max(power_w, 0.0));
 }
 
 void add_awgn(std::vector<double>& x, double power_w, milback::Rng& rng) {

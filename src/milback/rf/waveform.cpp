@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "milback/core/contract.hpp"
+#include "milback/dsp/oscillator.hpp"
 
 namespace milback::rf {
 
@@ -45,10 +46,8 @@ std::vector<std::complex<double>> WaveformGenerator::tone_baseband(
     if (!tone.enabled) return;
     const double amp = std::sqrt(dbm2watt(tone.power_dbm));
     const double f_bb = tone.frequency_hz - f_ref_hz;
-    for (std::size_t n = 0; n < num_samples; ++n) {
-      const double ph = 2.0 * kPi * f_bb * double(n) / fs;
-      out[n] += amp * std::complex<double>{std::cos(ph), std::sin(ph)};
-    }
+    dsp::PhasorOscillator osc(0.0, 2.0 * kPi * f_bb / fs);
+    for (std::size_t n = 0; n < num_samples; ++n) out[n] += amp * osc.next();
   };
   add_tone(signal.tone_a);
   add_tone(signal.tone_b);

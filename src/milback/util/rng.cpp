@@ -1,10 +1,50 @@
 #include "milback/util/rng.hpp"
 
+#include <cmath>
+
 #include "milback/util/units.hpp"
 
 namespace milback {
 
+namespace {
+
+/// Uniform in [-1, 1) from one engine draw (53 significand bits).
+inline double uniform_pm1(std::mt19937_64& engine) {
+  return 0x1.0p-52 * double(engine() >> 11) - 1.0;
+}
+
+/// One Marsaglia polar draw: a pair of independent unit Gaussians, scaled so
+/// the complex sample has E[|z|^2] = variance.
+inline std::complex<double> polar_pair(std::mt19937_64& engine, double sigma) {
+  double x, y, s;
+  do {
+    x = uniform_pm1(engine);
+    y = uniform_pm1(engine);
+    s = x * x + y * y;
+  } while (s >= 1.0 || s == 0.0);
+  const double k = sigma * std::sqrt(-2.0 * std::log(s) / s);
+  return {x * k, y * k};
+}
+
+}  // namespace
+
 double Rng::phase() { return uniform(-kPi, kPi); }
+
+std::complex<double> Rng::complex_gaussian(double variance) {
+  return polar_pair(engine_, std::sqrt(variance / 2.0));
+}
+
+void Rng::fill_complex_gaussian(std::complex<double>* out, std::size_t n,
+                                double variance) {
+  const double sigma = std::sqrt(variance / 2.0);
+  for (std::size_t i = 0; i < n; ++i) out[i] = polar_pair(engine_, sigma);
+}
+
+void Rng::add_complex_gaussian(std::complex<double>* x, std::size_t n,
+                               double variance) {
+  const double sigma = std::sqrt(variance / 2.0);
+  for (std::size_t i = 0; i < n; ++i) x[i] += polar_pair(engine_, sigma);
+}
 
 std::uint64_t Rng::mix64(std::uint64_t z) noexcept {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;

@@ -64,6 +64,28 @@ TEST(Fft, RealCosineSplitsIntoTwoBins) {
   EXPECT_NEAR(std::abs(spec[n - 3]), n / 2.0, 1e-8);
 }
 
+TEST(Fft, RealTransformMatchesComplexTransform) {
+  // fft_real takes the half-size packed path; it must agree with the full
+  // complex transform of the zero-imag signal at round-off level, including
+  // the zero-padded (non-power-of-two input) case.
+  for (const std::size_t n : {2u, 8u, 100u, 900u, 1024u}) {
+    Rng rng{unsigned(n)};
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.gaussian();
+    std::vector<cplx> cx(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) cx[i] = {x[i], 0.0};
+    const auto via_real = fft_real(x);
+    const auto via_complex = fft(cx);
+    ASSERT_EQ(via_real.size(), via_complex.size());
+    double scale = 0.0;
+    for (const auto& v : via_complex) scale = std::max(scale, std::abs(v));
+    for (std::size_t k = 0; k < via_real.size(); ++k) {
+      EXPECT_NEAR(std::abs(via_real[k] - via_complex[k]), 0.0, 1e-12 * scale)
+          << "n=" << n << " bin " << k;
+    }
+  }
+}
+
 TEST(Fft, InverseRoundTrip) {
   Rng rng(1);
   std::vector<cplx> x(256);

@@ -5,6 +5,7 @@
 
 #include "milback/dsp/fft.hpp"
 #include "milback/dsp/goertzel.hpp"
+#include "milback/util/rng.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::dsp {
@@ -56,6 +57,26 @@ TEST(Goertzel, RejectsAbsentTone) {
 TEST(Goertzel, EmptyInput) {
   EXPECT_NEAR(std::abs(goertzel(std::vector<double>{}, 100.0, 1000.0)), 0.0, 1e-12);
   EXPECT_DOUBLE_EQ(tone_power(std::vector<double>{}, 100.0, 1000.0), 0.0);
+}
+
+TEST(Goertzel, ComplexOverloadMatchesTrigCorrelation) {
+  // The complex overload now generates exp(-j omega n) by phasor rotation;
+  // it must track the per-sample-trig correlation it replaced to <= 1e-9
+  // relative over the longest chirp the simulator produces (2250 samples).
+  const double fs = 50e6;
+  const double f = 1.7e6;
+  Rng rng(17);
+  std::vector<std::complex<double>> x(2250);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+
+  const double omega = 2.0 * kPi * f / fs;
+  std::complex<double> reference{0.0, 0.0};
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double ph = -omega * double(n);
+    reference += x[n] * std::complex<double>{std::cos(ph), std::sin(ph)};
+  }
+  const auto fast = goertzel(x, f, fs);
+  EXPECT_LT(std::abs(fast - reference), 1e-9 * std::abs(reference));
 }
 
 TEST(Goertzel, ComplexInputDetectsNegativeFrequency) {

@@ -1,0 +1,72 @@
+// PhasorOscillator accuracy tests: the rotation recurrence must track the
+// per-sample trig phasor it replaced to well under the tolerances the beat
+// synthesis and waveform tests rely on (1e-9), over the longest chirp the
+// simulator generates (Field-1: 45 us at 50 MHz = 2250 samples).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "milback/dsp/oscillator.hpp"
+
+namespace milback::dsp {
+namespace {
+
+constexpr std::size_t kLongestChirpSamples = 2250;
+
+TEST(PhasorOscillator, TracksTrigOverLongestChirp) {
+  const double phi0 = 0.8137;
+  const double step = 2.0 * std::numbers::pi * 1.7e6 / 50e6;
+  PhasorOscillator osc(phi0, step);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < kLongestChirpSamples; ++i) {
+    const double ph = phi0 + step * double(i);
+    const std::complex<double> exact{std::cos(ph), std::sin(ph)};
+    max_err = std::max(max_err, std::abs(osc.next() - exact));
+  }
+  // |exact| == 1, so absolute error here is also relative error.
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(PhasorOscillator, NegativeStepTracksTrig) {
+  const double phi0 = -2.1;
+  const double step = -2.0 * std::numbers::pi * 0.31;
+  PhasorOscillator osc(phi0, step);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < kLongestChirpSamples; ++i) {
+    const double ph = phi0 + step * double(i);
+    const std::complex<double> exact{std::cos(ph), std::sin(ph)};
+    max_err = std::max(max_err, std::abs(osc.next() - exact));
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(PhasorOscillator, MagnitudeStaysRenormalized) {
+  PhasorOscillator osc(0.3, 1.234567);
+  double worst = 0.0;
+  // Far past many renormalization intervals: the magnitude must not drift.
+  for (std::size_t i = 0; i < 64 * PhasorOscillator::kRenormInterval; ++i) {
+    worst = std::max(worst, std::abs(std::abs(osc.next()) - 1.0));
+  }
+  EXPECT_LT(worst, 1e-12);
+}
+
+TEST(PhasorOscillator, ZeroStepIsConstant) {
+  PhasorOscillator osc(0.5, 0.0);
+  const std::complex<double> expect{std::cos(0.5), std::sin(0.5)};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(std::abs(osc.next() - expect), 1e-12);
+  }
+}
+
+TEST(PhasorOscillator, PeekDoesNotAdvance) {
+  PhasorOscillator osc(0.0, 0.1);
+  const auto before = osc.peek();
+  EXPECT_EQ(osc.peek(), before);
+  EXPECT_EQ(osc.next(), before);  // next() returns the current sample...
+  EXPECT_NE(osc.peek(), before);  // ...then advances.
+}
+
+}  // namespace
+}  // namespace milback::dsp

@@ -76,5 +76,32 @@ TEST(Window, EnbwKnownValues) {
   EXPECT_NEAR(enbw_bins(make_window(WindowType::kHann, 4097)), 1.5, 1e-2);
 }
 
+TEST(Window, CacheReturnsSharedInstance) {
+  const CachedWindow& a = cached_window(WindowType::kHann, 900);
+  const CachedWindow& b = cached_window(WindowType::kHann, 900);
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &cached_window(WindowType::kHann, 901));
+  EXPECT_NE(&a, &cached_window(WindowType::kHamming, 900));
+}
+
+TEST(Window, CachedEntryMatchesDirectComputation) {
+  const auto& c = cached_window(WindowType::kBlackman, 257);
+  const auto direct = make_window(WindowType::kBlackman, 257);
+  ASSERT_EQ(c.samples.size(), direct.size());
+  const double cg = coherent_gain(direct);
+  EXPECT_DOUBLE_EQ(c.coherent_gain_lin, cg);
+  EXPECT_DOUBLE_EQ(c.enbw_bins, enbw_bins(direct));
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c.samples[i], direct[i]);
+    EXPECT_DOUBLE_EQ(c.normalized[i], direct[i] / cg);
+  }
+}
+
+TEST(Window, CachedEmptyWindow) {
+  const auto& c = cached_window(WindowType::kHann, 0);
+  EXPECT_TRUE(c.samples.empty());
+  EXPECT_TRUE(c.normalized.empty());
+}
+
 }  // namespace
 }  // namespace milback::dsp

@@ -15,6 +15,9 @@
 
 #include "milback/core/link.hpp"
 #include "milback/core/network.hpp"
+#include "milback/dsp/fft.hpp"
+#include "milback/dsp/fft_plan.hpp"
+#include "milback/dsp/window.hpp"
 #include "milback/sim/sweep.hpp"
 #include "milback/sim/trial_runner.hpp"
 #include "milback/util/rng.hpp"
@@ -161,6 +164,68 @@ TEST(ThreadInvariance, DownlinkRoundIsBitIdenticalAcrossWorkerCounts) {
     EXPECT_EQ(a.downlink.analytic_ber, b.downlink.analytic_ber);
     EXPECT_EQ(a.downlink.orientation_estimate_deg,
               b.downlink.orientation_estimate_deg);
+  }
+}
+
+TEST(ThreadInvariance, SharedFftPlanCacheKeepsSweepsBitIdentical) {
+  // The FFT plan and window caches are process-wide and populated lazily:
+  // a 4-worker sweep races its first chirps through cache construction while
+  // a 1-worker sweep populates serially. Plans are pure functions of their
+  // size, so every field produced through them must stay bit-identical --
+  // and under the tsan preset this doubles as the race check on the caches.
+  // Mixing FFT sizes per trial forces concurrent inserts of distinct keys.
+  const sim::Sweep<std::size_t> sweep({256, 512, 1024, 2048}, 4);
+  const auto trial = [](std::size_t fft_size, std::size_t p,
+                        std::size_t t) -> double {
+    auto rng = Rng::stream(77, p, t);
+    std::vector<dsp::cplx> x(fft_size);
+    for (auto& v : x) v = rng.complex_gaussian(1.0);
+    dsp::fft_plan(fft_size).forward(x.data());
+    const auto& w = dsp::cached_window(dsp::WindowType::kHann, fft_size / 2);
+    double acc = w.enbw_bins;
+    for (const auto& v : x) acc += std::norm(v);
+    return acc;
+  };
+
+  const auto serial = sweep.run<double>(sim::TrialRunner(1), trial);
+  const auto parallel = sweep.run<double>(sim::TrialRunner(4), trial);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    ASSERT_EQ(serial[p].size(), parallel[p].size());
+    for (std::size_t t = 0; t < serial[p].size(); ++t) {
+      EXPECT_EQ(serial[p][t], parallel[p][t]) << "point " << p << " trial " << t;
+    }
+  }
+}
+
+TEST(ThreadInvariance, LocalizationFieldsAreBitIdenticalAcrossWorkerCounts) {
+  // End-to-end version of the cache guarantee: full localization (window
+  // cache + planned FFTs + bulk noise draws) must produce field-for-field
+  // identical results at any worker count.
+  const auto link = make_link(13);
+  const sim::Sweep<double> sweep({1.5, 3.0}, 4);
+  const auto trial = [&](double distance_m, std::size_t p,
+                         std::size_t t) -> std::vector<double> {
+    auto rng = Rng::stream(99, p, t);
+    const channel::NodePose pose{distance_m, rng.uniform(-20.0, 20.0), 8.0};
+    const auto loc = link.localize(pose, rng);
+    return {double(loc.detected), loc.range_m, loc.angle_deg,
+            loc.detection_snr_db, loc.aoa_offset_deg.value_or(-1e9)};
+  };
+
+  const auto serial = sweep.run<std::vector<double>>(sim::TrialRunner(1), trial);
+  const auto parallel = sweep.run<std::vector<double>>(sim::TrialRunner(4), trial);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    for (std::size_t t = 0; t < serial[p].size(); ++t) {
+      ASSERT_EQ(serial[p][t].size(), parallel[p][t].size());
+      for (std::size_t f = 0; f < serial[p][t].size(); ++f) {
+        EXPECT_EQ(serial[p][t][f], parallel[p][t][f])
+            << "point " << p << " trial " << t << " field " << f;
+      }
+    }
   }
 }
 

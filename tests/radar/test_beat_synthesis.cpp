@@ -17,6 +17,14 @@ TEST(BeatSynthesis, SamplesPerChirp) {
   EXPECT_EQ(samples_per_chirp(field2_chirp(), 50e6), 900u);
 }
 
+TEST(BeatSynthesis, SamplesPerChirpRoundsExactIntegerProduct) {
+  // 4.9 us * 50 MHz is exactly 245 samples, but the double product evaluates
+  // to 244.99999999999997 -- truncation used to lose the last sample.
+  ChirpConfig chirp = field2_chirp();
+  chirp.duration_s = 4.9e-6;
+  EXPECT_EQ(samples_per_chirp(chirp, 50e6), 245u);
+}
+
 TEST(BeatSynthesis, SingleReflectorProducesExpectedBeatTone) {
   const auto chirp = field2_chirp();
   const double fs = 50e6;

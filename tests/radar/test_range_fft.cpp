@@ -87,5 +87,20 @@ TEST(RangeFft, DefaultPadsToNextPow2) {
   EXPECT_EQ(spec.bins.size(), 1024u);
 }
 
+TEST(RangeFft, RejectsNonPow2FftSize) {
+  const auto chirp = field2_chirp();
+  std::vector<std::complex<double>> beat(900, {1.0, 0.0});
+  EXPECT_THROW(range_fft(beat, 50e6, chirp, {.fft_size = 1000}),
+               std::invalid_argument);
+}
+
+TEST(RangeFft, RejectsFftSizeSmallerThanInput) {
+  const auto chirp = field2_chirp();
+  std::vector<std::complex<double>> beat(900, {1.0, 0.0});
+  // 512 is a power of two but would silently drop windowed samples.
+  EXPECT_THROW(range_fft(beat, 50e6, chirp, {.fft_size = 512}),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace milback::radar
