@@ -4,13 +4,15 @@
 // beam-scan acquisition, alpha-beta tracking with innovation gating, rate
 // adaptation between Fig 15's 10/40 Mbps operating points, Hamming(7,4) FEC
 // switching on thin margin, and measured-BER backoff (the budget can be
-// fooled by clutter; delivered payloads cannot). The bench walks a node from
-// 2 m out to 11 m and back and logs every decision.
+// fooled by clutter; delivered payloads cannot). The bench runs the walk as
+// a cell-engine scenario: the trajectory is a queue of move events, the
+// session is stepped by the engine's service sweeps, and every decision is
+// captured through the observer hook.
 #include "bench_common.hpp"
 
 #include <cmath>
 
-#include "milback/core/session.hpp"
+#include "milback/cell/cell_engine.hpp"
 
 using namespace milback;
 
@@ -25,6 +27,12 @@ const char* state_name(core::SessionState s) {
   return "?";
 }
 
+// Walk out to 11 m by round 20, then back in.
+double walk_distance_m(std::size_t round) {
+  const double phase = double(round) / 20.0;
+  return phase <= 1.0 ? 2.0 + 9.0 * phase : 11.0 - 9.0 * (phase - 1.0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -32,10 +40,22 @@ int main(int argc, char** argv) {
   bench::banner("Extension", "Adaptive session: rate/FEC decisions on a moving node",
                 seed);
 
-  Rng master(seed);
-  auto env_rng = master.fork(1);
-  core::AdaptiveSession session(bench::make_indoor_channel(env_rng),
-                                core::SessionConfig{});
+  constexpr std::size_t kRounds = 40;
+  constexpr double kPeriodS = 0.1;
+
+  cell::CellConfig cfg;
+  cfg.run_sessions = true;
+  cfg.service_period_s = kPeriodS;
+  Rng env_rng = Rng::stream(seed, std::uint64_t{1});
+  cell::CellEngine engine(bench::make_indoor_channel(env_rng), cfg);
+
+  const auto node = engine.add_node(
+      "walker", {.pose = {walk_distance_m(0), 0.0, 15.0}, .arrival_rate_bps = 1e6});
+  // One move event per protocol round; churn events dispatch before the
+  // sweep at the same instant, so sweep r sees walk_distance_m(r).
+  for (std::size_t r = 1; r < kRounds; ++r) {
+    engine.schedule_move(node, double(r) * kPeriodS, {walk_distance_m(r), 0.0, 15.0});
+  }
 
   Table t({"round", "true d (m)", "state", "track d (m)", "budget SNR (dB)",
            "rate", "FEC", "data errs", "delivered (Mbps)"});
@@ -44,22 +64,17 @@ int main(int argc, char** argv) {
                  "delivered_mbps"});
 
   double delivered_total_bits = 0.0;
-  int rounds_tracking = 0;
-  for (int round = 0; round < 40; ++round) {
-    // Walk out to 11 m by round 20, then back in.
-    const double phase = double(round) / 20.0;
-    const double d = phase <= 1.0 ? 2.0 + 9.0 * phase : 11.0 - 9.0 * (phase - 1.0);
-    const channel::NodePose pose{d, 0.0, 15.0};
-
-    auto rng = Rng::stream(seed, std::uint64_t(round));
-    const auto step = session.step(pose, rng);
+  std::size_t rounds_tracking = 0;
+  const std::size_t payload_bits = cfg.session.payload_bits;
+  engine.set_observer([&](const cell::ServiceObservation& obs) {
+    const auto& step = obs.session;
+    const double d = walk_distance_m(obs.round);
     if (step.state == core::SessionState::kTracking && step.uplink_rate_bps > 0.0) {
       ++rounds_tracking;
-      delivered_total_bits +=
-          double(session.config().payload_bits - step.payload_bit_errors);
+      delivered_total_bits += double(payload_bits - step.payload_bit_errors);
     }
-    if (round % 2 == 0) {
-      t.add_row({std::to_string(round), Table::num(d, 1), state_name(step.state),
+    if (obs.round % 2 == 0) {
+      t.add_row({std::to_string(obs.round), Table::num(d, 1), state_name(step.state),
                  step.state == core::SessionState::kTracking ? Table::num(step.range_m, 2)
                                                              : "-",
                  step.uplink_rate_bps > 0 ? Table::num(step.budget_snr_db, 1) : "-",
@@ -69,14 +84,16 @@ int main(int argc, char** argv) {
                  step.fec_enabled ? "on" : "off", std::to_string(step.payload_bit_errors),
                  Table::num(step.delivered_data_bps / 1e6, 2)});
     }
-    csv.row({double(round), d, step.range_m, step.budget_snr_db,
+    csv.row({double(obs.round), d, step.range_m, step.budget_snr_db,
              step.uplink_rate_bps / 1e6, step.fec_enabled ? 1.0 : 0.0,
              step.delivered_data_bps / 1e6});
-  }
+  });
+
+  engine.run(double(kRounds) * kPeriodS, seed);
   t.print(std::cout);
 
-  std::cout << "\nSession summary: " << rounds_tracking
-            << "/40 rounds in tracking, "
+  std::cout << "\nSession summary: " << rounds_tracking << "/" << kRounds
+            << " rounds in tracking, "
             << Table::num(delivered_total_bits / 1e3, 1)
             << " kbit delivered error-free-or-corrected.\n";
   std::cout << "\nReading: the session rides 40 Mbps inside ~5 m, inserts FEC as the\n"

@@ -4,9 +4,11 @@
 // and reports delivered goodput, mean/p95 latency and stability — the
 // classic throughput/latency knee, here for a backscatter cell whose
 // capacity is set by the Section-7 packet air time and the SDM schedule.
+// Runs on the discrete-event cell engine (the MAC layer is a thin adapter
+// over the same engine).
 #include "bench_common.hpp"
 
-#include "milback/core/mac.hpp"
+#include "milback/cell/cell_engine.hpp"
 
 using namespace milback;
 
@@ -14,8 +16,6 @@ int main(int argc, char** argv) {
   const auto seed = bench::parse_seed(argc, argv);
   bench::banner("Extension", "MAC: offered load vs goodput and latency (6-tag cell)",
                 seed);
-
-  Rng master(seed);
 
   // Fixed tag layout: bearings spread across the sector, mixed ranges.
   const std::vector<channel::NodePose> poses{
@@ -26,15 +26,18 @@ int main(int argc, char** argv) {
   // stateless so the probe and every load point below see the *same* room
   // (a stateful fork(1) would hand each call a different one).
   const auto make_env = [&] { return Rng::stream(seed, std::uint64_t{1000}); };
+  const auto make_engine = [&] {
+    Rng env_rng = make_env();
+    return cell::CellEngine(bench::make_indoor_channel(env_rng), cell::CellConfig{});
+  };
   double capacity = 0.0;
   {
-    Rng env_rng = make_env();
-    core::MacSimulator probe(bench::make_indoor_channel(env_rng), core::MacConfig{});
+    auto probe = make_engine();
     for (std::size_t i = 0; i < poses.size(); ++i) {
       probe.add_node("t" + std::to_string(i), {.pose = poses[i], .arrival_rate_bps = 1.0});
     }
-    Rng rng = master.fork(2);
-    capacity = probe.run(0.05, rng).cell_capacity_bps;
+    capacity = probe.run(0.05, Rng::stream(seed, std::uint64_t{2000}).engine()())
+                   .cell_capacity_bps;
   }
   std::cout << "Estimated cell capacity: " << Table::num(capacity / 1e6, 2)
             << " Mbps across " << poses.size() << " tags.\n\n";
@@ -45,15 +48,14 @@ int main(int argc, char** argv) {
                 {"load_frac", "goodput_mbps", "mean_lat_us", "p95_lat_us", "stable"});
   std::size_t frac_idx = 0;
   for (const double frac : {0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.5, 2.0}) {
-    Rng env_rng = make_env();  // same room every time
-    core::MacSimulator sim(bench::make_indoor_channel(env_rng), core::MacConfig{});
+    auto engine = make_engine();  // same room every time
     const double per_node = frac * capacity / double(poses.size());
     for (std::size_t i = 0; i < poses.size(); ++i) {
-      sim.add_node("t" + std::to_string(i),
-                   {.pose = poses[i], .arrival_rate_bps = per_node});
+      engine.add_node("t" + std::to_string(i),
+                      {.pose = poses[i], .arrival_rate_bps = per_node});
     }
-    Rng rng = Rng::stream(seed, frac_idx++);
-    const auto report = sim.run(0.5, rng);
+    const auto report =
+        engine.run(0.5, Rng::stream(seed, frac_idx++).engine()());
 
     std::vector<double> lat, p95;
     for (const auto& n : report.nodes) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "milback/ap/localizer.hpp"
+#include "milback/cell/cell_engine.hpp"
 #include "milback/ap/orientation_sensor.hpp"
 #include "milback/ap/uplink_receiver.hpp"
 #include "milback/core/link.hpp"
@@ -140,6 +141,69 @@ void BM_PacketExchange(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PacketExchange)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Cell engine: discrete-event scheduling cost at varying population, and one
+// full churn scenario (joins/leaves/moves/blockage) end to end.
+// ---------------------------------------------------------------------------
+
+cell::CellEngine make_cell_engine(cell::CellConfig cfg = {}) {
+  Rng env_rng(14);
+  return cell::CellEngine(channel::BackscatterChannel::make_default(
+                              channel::Environment::indoor_office(env_rng)),
+                          cfg);
+}
+
+void BM_CellEngine_StaticCell(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  for (auto _ : state) {
+    auto engine = make_cell_engine();
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.add_node("t" + std::to_string(i),
+                      {.pose = {2.0 + 0.1 * double(i % 8),
+                                -40.0 + 80.0 * double(i) / double(n), 12.0},
+                       .arrival_rate_bps = 100e3});
+    }
+    auto report = engine.run(0.1, 77);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_CellEngine_StaticCell)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_CellEngine_ChurnScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    auto engine = make_cell_engine();
+    for (std::size_t i = 0; i < 16; ++i) {
+      const double bearing = -40.0 + 5.0 * double(i);
+      engine.add_node("t" + std::to_string(i),
+                      {.pose = {2.0 + 0.15 * double(i), bearing, 12.0},
+                       .arrival_rate_bps = 100e3},
+                      (i % 4 == 3) ? 0.02 : 0.0);
+      if (i % 5 == 4) engine.schedule_leave(i, 0.06);
+      if (i % 3 == 1) {
+        engine.schedule_move(i, 0.04, {3.0, bearing + 2.0, 12.0});
+      }
+    }
+    engine.schedule_blockage(0.05, 0.07, 15.0);
+    auto report = engine.run(0.1, 78);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_CellEngine_ChurnScenario)->Unit(benchmark::kMillisecond);
+
+void BM_CellEngine_SessionCell(benchmark::State& state) {
+  cell::CellConfig cfg;
+  cfg.run_sessions = true;
+  cfg.service_period_s = 0.01;
+  for (auto _ : state) {
+    auto engine = make_cell_engine(cfg);
+    engine.add_node("a", {.pose = {2.0, -20.0, 10.0}, .arrival_rate_bps = 200e3});
+    engine.add_node("b", {.pose = {3.0, 15.0, -8.0}, .arrival_rate_bps = 200e3});
+    auto report = engine.run(0.05, 79);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_CellEngine_SessionCell)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // Per-kernel before/after pairs.

@@ -5,11 +5,16 @@
 // tags across a warehouse aisle, discovers them all (localization +
 // orientation), schedules them into SDM slots by bearing separation, then
 // runs uplink inventory rounds and reports per-tag link quality, goodput and
-// the interference penalty concurrent tags pay.
+// the interference penalty concurrent tags pay. A final phase replays a
+// working shift on the discrete-event cell engine: pallets leave on
+// forklifts, new stock arrives mid-shift, one pallet is relocated, and a
+// forklift parks in the aisle for a while (blockage) — churn none of the
+// single-round layers can express.
 //
 // Build & run:  ./build/examples/smart_warehouse [seed]
 #include <iostream>
 
+#include "milback/cell/cell_engine.hpp"
 #include "milback/core/network.hpp"
 #include "milback/util/table.hpp"
 
@@ -77,8 +82,47 @@ int main(int argc, char** argv) {
   }
   u.print(std::cout);
   std::cout << "  aggregate goodput: " << Table::num(round.aggregate_goodput_bps / 1e6, 2)
-            << " Mbps across " << round.sdm_slots << " slot(s)\n"
+            << " Mbps across " << round.sdm_slots << " slot(s)\n";
+
+  // --- A working shift on the cell engine: continuous inventory telemetry
+  // under churn. Same room (same environment stream), richer timeline.
+  std::cout << "\nShift replay (cell engine, 0.5 s compressed timeline):\n";
+  auto shift_env = master.fork(1);  // same fork id -> same warehouse
+  cell::CellEngine shift(channel::BackscatterChannel::make_default(
+                             channel::Environment::indoor_office(shift_env)),
+                         cell::CellConfig{});
+  const std::vector<std::pair<std::string, channel::NodePose>> tags{
+      {"pallet-A1", {2.0, -28.0, 8.0}},  {"pallet-A2", {3.5, -24.0, -12.0}},
+      {"pallet-B1", {2.5, -2.0, 15.0}},  {"pallet-B2", {4.5, 3.0, -18.0}},
+      {"pallet-C1", {3.0, 25.0, 10.0}},  {"pallet-C2", {5.0, 30.0, -8.0}}};
+  for (const auto& [id, pose] : tags) {
+    shift.add_node(id, {.pose = pose, .arrival_rate_bps = 200e3, .burstiness = 0.5});
+  }
+  // Mid-shift churn: A2 ships out, fresh stock lands on dock D1, B2 is
+  // relocated one rack over, and a forklift blocks the aisle for 100 ms.
+  shift.schedule_leave(1, 0.20);
+  shift.add_node("pallet-D1", {.pose = {4.0, -15.0, 5.0}, .arrival_rate_bps = 200e3},
+                 /*join_time_s=*/0.25);
+  shift.schedule_move(3, 0.30, {4.5, 12.0, -18.0});
+  shift.schedule_blockage(0.35, 0.45, 12.0);
+
+  const auto report = shift.run(0.5, master.fork(4).engine()());
+  Table s({"tag", "alive", "rounds served", "offered (kbit)", "delivered (kbit)",
+           "p95 latency (ms)"});
+  for (const auto& n : report.nodes) {
+    s.add_row({n.id, n.leave_time_s >= 0.0 ? "left" : "yes",
+               std::to_string(n.rounds_served), Table::num(n.offered_bits / 1e3, 1),
+               Table::num(n.delivered_bits / 1e3, 1),
+               Table::num(n.p95_latency_s * 1e3, 2)});
+  }
+  s.print(std::cout);
+  std::cout << "  " << report.service_rounds << " service rounds, peak "
+            << report.peak_population << " tags, "
+            << (report.stable ? "stable" : "UNSTABLE") << "; cell capacity "
+            << Table::num(report.cell_capacity_bps / 1e6, 2) << " Mbps\n"
             << "\nEvery tag runs battery-free at 18-32 mW only while addressed;\n"
-               "bearing-separated tags share air time via the AP's beams.\n";
+               "bearing-separated tags share air time via the AP's beams, and\n"
+               "the event queue absorbs arrivals, departures and blockage\n"
+               "without re-planning the schedule by hand.\n";
   return discovered == int(net.nodes().size()) ? 0 : 1;
 }

@@ -21,6 +21,10 @@ Rules:
       construction in src/ outside src/milback/dsp/ -- synthesis loops must
       use dsp::PhasorOscillator (one complex multiply per sample) so tone and
       chirp generation stays O(1) trig per chirp.
+  R8  time-loop discipline: no ad-hoc `for (... round ...)` service loops in
+      src/ outside src/milback/cell/ -- round-by-round simulation belongs to
+      the discrete-event cell engine (cell::CellEngine), where churn,
+      blockage and determinism keying are handled once.
 
 Exit status is non-zero when any violation is found.
 """
@@ -71,6 +75,12 @@ FORK_ARITHMETIC = re.compile(r"\bfork\s*\([^)]*[*+%^]")
 # synthesis idiom that dsp::PhasorOscillator replaces.
 TRIG_PHASOR = re.compile(r"std::cos\s*\([^()]*(?:\([^()]*\)[^()]*)*\)\s*,\s*std::sin\s*\(")
 TRIG_PHASOR_ALLOWED_PREFIX = "src/milback/dsp/"
+
+# R8: an ad-hoc round-driven time loop (`for (... round ...)` or
+# `while (... round ...)`) -- the hand-rolled MAC/network simulation idiom
+# the discrete-event cell engine replaces.
+ROUND_LOOP = re.compile(r"\b(?:for|while)\s*\([^)]*\bround\w*\b")
+ROUND_LOOP_ALLOWED_PREFIX = "src/milback/cell/"
 
 COMMENT_LINE = re.compile(r"^\s*(?://|\*|/\*)")
 
@@ -131,6 +141,16 @@ def lint_file(root: Path, path: Path, errors: list[str]) -> None:
             errors.append(
                 f"{rel}:{i}: [R7] cos/sin phasor pair outside src/milback/dsp/"
                 " -- use dsp::PhasorOscillator"
+            )
+
+        if (
+            rel.startswith("src/")
+            and not rel.startswith(ROUND_LOOP_ALLOWED_PREFIX)
+            and ROUND_LOOP.search(line)
+        ):
+            errors.append(
+                f"{rel}:{i}: [R8] ad-hoc round time loop outside"
+                " src/milback/cell/ -- drive rounds through cell::CellEngine"
             )
 
         if is_public_header:

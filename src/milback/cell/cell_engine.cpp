@@ -1,0 +1,482 @@
+#include "milback/cell/cell_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "milback/core/contract.hpp"
+#include "milback/core/packet.hpp"
+#include "milback/sim/trial_runner.hpp"
+#include "milback/util/stats.hpp"
+
+namespace milback::cell {
+
+CellEngine::CellEngine(channel::BackscatterChannel channel, CellConfig config)
+    : config_(config),
+      link_(std::move(channel), config.network.link),
+      payload_bits_(double(config.payload_symbols) * 2.0) {}
+
+std::size_t CellEngine::add_node(std::string id, const core::TrafficSpec& spec,
+                                 double join_time_s) {
+  MILBACK_REQUIRE(!ran_, "CellEngine::add_node: engine already ran");
+  require_finite(join_time_s, "join_time_s");
+  NodeState n;
+  n.id = std::move(id);
+  n.spec = spec;
+  n.join_time_s = std::max(join_time_s, 0.0);
+  n.alive = join_time_s <= 0.0;
+  nodes_.push_back(std::move(n));
+  const std::size_t index = nodes_.size() - 1;
+  if (join_time_s > 0.0) {
+    queue_.push(Event{.time_s = join_time_s,
+                      .priority = kPriorityChurn,
+                      .kind = EventKind::kJoin,
+                      .node = index});
+  }
+  return index;
+}
+
+void CellEngine::schedule_leave(std::size_t node, double time_s) {
+  MILBACK_REQUIRE(node < nodes_.size(), "schedule_leave: node out of range");
+  queue_.push(Event{.time_s = time_s,
+                    .priority = kPriorityChurn,
+                    .kind = EventKind::kLeave,
+                    .node = node});
+}
+
+void CellEngine::schedule_move(std::size_t node, double time_s,
+                               const channel::NodePose& pose) {
+  MILBACK_REQUIRE(node < nodes_.size(), "schedule_move: node out of range");
+  queue_.push(Event{.time_s = time_s,
+                    .priority = kPriorityChurn,
+                    .kind = EventKind::kMove,
+                    .node = node,
+                    .pose = pose});
+}
+
+void CellEngine::schedule_blockage(double start_s, double end_s, double loss_db) {
+  MILBACK_REQUIRE(end_s > start_s, "schedule_blockage: end must follow start");
+  require_non_negative(loss_db, "blockage loss_db");
+  queue_.push(Event{.time_s = start_s,
+                    .priority = kPriorityChurn,
+                    .kind = EventKind::kBlockageStart,
+                    .value = loss_db});
+  queue_.push(Event{.time_s = end_s,
+                    .priority = kPriorityChurn,
+                    .kind = EventKind::kBlockageEnd});
+}
+
+const std::string& CellEngine::node_id(std::size_t i) const {
+  MILBACK_REQUIRE(i < nodes_.size(), "node_id: index out of range");
+  return nodes_[i].id;
+}
+
+const channel::NodePose& CellEngine::node_pose(std::size_t i) const {
+  MILBACK_REQUIRE(i < nodes_.size(), "node_pose: index out of range");
+  return nodes_[i].spec.pose;
+}
+
+bool CellEngine::node_alive(std::size_t i) const {
+  MILBACK_REQUIRE(i < nodes_.size(), "node_alive: index out of range");
+  return nodes_[i].alive;
+}
+
+std::size_t CellEngine::population() const noexcept {
+  std::size_t alive = 0;
+  for (const auto& n : nodes_) alive += n.alive ? 1 : 0;
+  return alive;
+}
+
+std::vector<std::size_t> CellEngine::alive_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive) out.push_back(i);
+  }
+  return out;
+}
+
+void CellEngine::ensure_session(NodeState& n) {
+  if (!config_.run_sessions || n.session.has_value()) return;
+  // The session gets its own channel copy carrying the current blockage
+  // state; subsequent episodes are propagated by apply_blockage.
+  n.session.emplace(link_.channel(), config_.session);
+}
+
+void CellEngine::apply_blockage(double loss_db) {
+  link_.channel().config().blockage_loss_db = loss_db;
+  for (auto& n : nodes_) {
+    if (n.session) n.session->link().channel().config().blockage_loss_db = loss_db;
+  }
+}
+
+void CellEngine::wake_service(double time_s) {
+  if (service_scheduled_) return;
+  queue_.push(Event{.time_s = time_s,
+                    .priority = kPriorityService,
+                    .kind = EventKind::kService,
+                    .node = Event::kCellWide});
+  service_scheduled_ = true;
+}
+
+void CellEngine::dispatch_join(const Event& e) {
+  auto& n = nodes_[e.node];
+  n.alive = true;
+  ensure_session(n);
+  peak_population_ = std::max(peak_population_, population());
+  wake_service(e.time_s);
+}
+
+void CellEngine::dispatch_arrival(const Event& e, std::uint64_t seed) {
+  auto& n = nodes_[e.node];
+  if (!n.alive) return;  // left before the arrival landed
+  const double period_s = e.value;
+  const double mean_bits = n.spec.arrival_rate_bps * period_s;
+  auto rng = Rng::stream(seed, std::uint64_t{e.node}, e.seq);
+  const double jitter =
+      n.spec.burstiness > 0.0
+          ? std::max(0.0, 1.0 + n.spec.burstiness * rng.gaussian(0.0, 0.5))
+          : 1.0;
+  const double bits = mean_bits * jitter;
+  if (bits <= 0.0) return;
+  n.queue.push_back({bits, e.time_s});
+  n.queued_bits += bits;
+  n.offered_bits += bits;
+  n.peak_queue_bits = std::max(n.peak_queue_bits, n.queued_bits);
+}
+
+void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
+                                  double duration_s,
+                                  const sim::TrialRunner& runner,
+                                  CellReport& report) {
+  service_scheduled_ = false;
+  const auto alive = alive_indices();
+  if (alive.empty()) return;  // a later join re-wakes the sweep
+
+  // Rate recomputation fans out on the TrialRunner: each trial touches only
+  // its own node and derives randomness from (seed, node, event seq), so the
+  // sweep is thread-count invariant.
+  std::vector<core::SessionStep> steps;
+  if (config_.run_sessions) {
+    steps = runner.map<core::SessionStep>(alive.size(), [&](std::size_t k) {
+      auto& n = nodes_[alive[k]];
+      auto rng = Rng::stream(seed, std::uint64_t{alive[k]}, e.seq);
+      return n.session->step(n.spec.pose, rng);
+    });
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      nodes_[alive[k]].rate_bps =
+          steps[k].state == core::SessionState::kTracking
+              ? steps[k].uplink_rate_bps
+              : 0.0;
+    }
+  } else {
+    const auto rates = runner.map<double>(alive.size(), [&](std::size_t k) {
+      return probe_service_rate_bps(link_.channel(), nodes_[alive[k]].spec.pose,
+                                    config_.rate);
+    });
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      nodes_[alive[k]].rate_bps = rates[k];
+    }
+  }
+
+  // SDM schedule over the settled population; period = one visit to every
+  // slot, each slot lasting as long as its slowest member's packet.
+  std::vector<channel::NodePose> poses;
+  poses.reserve(alive.size());
+  for (const auto i : alive) poses.push_back(nodes_[i].spec.pose);
+  const auto slots =
+      sdm_partition(poses, config_.network.sdm_min_separation_deg);
+  double derived_period_s = 0.0;
+  for (const auto& slot : slots) {
+    double slot_time_s = 0.0;
+    for (const auto k : slot) {
+      const auto& n = nodes_[alive[k]];
+      if (n.rate_bps <= 0.0) continue;
+      const auto timing = core::compute_timing(
+          core::PacketConfig{.preamble = {},
+                             .payload_symbols = config_.payload_symbols},
+          core::LinkDirection::kUplink, n.rate_bps / 2.0);
+      slot_time_s = std::max(slot_time_s, timing.total_s);
+    }
+    derived_period_s += slot_time_s;
+  }
+  const double period_s =
+      config_.service_period_s > 0.0 ? config_.service_period_s : derived_period_s;
+  if (period_s <= 0.0) return;  // nobody servable; churn re-wakes the sweep
+
+  const std::size_t round = report.service_rounds;
+  report.service_rounds += 1;
+  last_period_s_ = period_s;
+  double capacity_bps = 0.0;
+  for (const auto i : alive) {
+    if (nodes_[i].rate_bps > 0.0) capacity_bps += payload_bits_ / period_s;
+  }
+  report.cell_capacity_bps = capacity_bps;
+
+  // Drain: one packet per reachable node per sweep, slot-major.
+  std::vector<double> drained(alive.size(), 0.0);
+  const double service_done_s = e.time_s + period_s;
+  for (const auto& slot : slots) {
+    for (const auto k : slot) {
+      auto& n = nodes_[alive[k]];
+      if (n.rate_bps <= 0.0) continue;
+      n.rounds_served += 1;
+      double budget = payload_bits_;
+      while (budget > 0.0 && !n.queue.empty()) {
+        auto& chunk = n.queue.front();
+        const double take = std::min(chunk.bits, budget);
+        chunk.bits -= take;
+        budget -= take;
+        n.queued_bits -= take;
+        n.delivered_bits += take;
+        drained[k] += take;
+        if (chunk.bits <= 1e-9) {
+          n.latencies_s.push_back(service_done_s - chunk.arrival_s);
+          n.queue.pop_front();
+        }
+      }
+    }
+  }
+
+  if (observer_) {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      const auto& n = nodes_[alive[k]];
+      ServiceObservation obs;
+      obs.time_s = e.time_s;
+      obs.round = round;
+      obs.node = alive[k];
+      obs.id = n.id;
+      obs.rate_bps = n.rate_bps;
+      obs.drained_bits = drained[k];
+      obs.queued_bits = n.queued_bits;
+      if (config_.run_sessions) {
+        obs.has_session = true;
+        obs.session = steps[k];
+      }
+      observer_(obs);
+    }
+  }
+
+  // Next sweep and its arrivals (current-period estimate for the window).
+  if (service_done_s < duration_s) {
+    for (const auto i : alive) {
+      if (nodes_[i].spec.arrival_rate_bps <= 0.0) continue;
+      queue_.push(Event{.time_s = service_done_s,
+                        .priority = kPriorityArrival,
+                        .kind = EventKind::kArrival,
+                        .node = i,
+                        .value = period_s});
+    }
+    wake_service(service_done_s);
+  }
+}
+
+CellReport CellEngine::run(double duration_s, std::uint64_t seed) {
+  MILBACK_REQUIRE(!ran_, "CellEngine::run is single-shot; build a fresh engine");
+  require_positive(duration_s, "duration_s");
+  MILBACK_REQUIRE(!config_.run_sessions || config_.service_period_s > 0.0,
+                  "CellEngine: run_sessions requires a pinned service_period_s "
+                  "(acquisition needs sweeps before any rate is known)");
+  ran_ = true;
+
+  CellReport report;
+  report.duration_s = duration_s;
+  const sim::TrialRunner runner;
+
+  for (auto& n : nodes_) {
+    if (n.alive) ensure_session(n);
+  }
+  peak_population_ = population();
+
+  // Bootstrap the first sweep. Arrivals for a sweep land before it (same
+  // time, lower priority), so the first window needs a period estimate up
+  // front: the pinned period, else a budget probe of the initial population.
+  double hint_s = config_.service_period_s;
+  if (hint_s <= 0.0) {
+    const auto alive = alive_indices();
+    std::vector<channel::NodePose> poses;
+    poses.reserve(alive.size());
+    for (const auto i : alive) {
+      nodes_[i].rate_bps =
+          probe_service_rate_bps(link_.channel(), nodes_[i].spec.pose, config_.rate);
+      poses.push_back(nodes_[i].spec.pose);
+    }
+    const auto slots =
+        sdm_partition(poses, config_.network.sdm_min_separation_deg);
+    for (const auto& slot : slots) {
+      double slot_time_s = 0.0;
+      for (const auto k : slot) {
+        const auto& n = nodes_[alive[k]];
+        if (n.rate_bps <= 0.0) continue;
+        const auto timing = core::compute_timing(
+            core::PacketConfig{.preamble = {},
+                               .payload_symbols = config_.payload_symbols},
+            core::LinkDirection::kUplink, n.rate_bps / 2.0);
+        slot_time_s = std::max(slot_time_s, timing.total_s);
+      }
+      hint_s += slot_time_s;
+    }
+  }
+  if (hint_s > 0.0) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i].alive || nodes_[i].spec.arrival_rate_bps <= 0.0) continue;
+      queue_.push(Event{.time_s = 0.0,
+                        .priority = kPriorityArrival,
+                        .kind = EventKind::kArrival,
+                        .node = i,
+                        .value = hint_s});
+    }
+    wake_service(0.0);
+  }
+
+  while (!queue_.empty() && queue_.top().time_s < duration_s) {
+    const Event e = queue_.pop();
+    report.events_dispatched += 1;
+    switch (e.kind) {
+      case EventKind::kJoin:
+        dispatch_join(e);
+        break;
+      case EventKind::kLeave:
+        nodes_[e.node].alive = false;
+        nodes_[e.node].leave_time_s = e.time_s;
+        break;
+      case EventKind::kMove:
+        nodes_[e.node].spec.pose = e.pose;
+        if (nodes_[e.node].alive) wake_service(e.time_s);
+        break;
+      case EventKind::kArrival:
+        dispatch_arrival(e, seed);
+        break;
+      case EventKind::kService:
+        dispatch_service(e, seed, duration_s, runner, report);
+        break;
+      case EventKind::kBlockageStart:
+        apply_blockage(e.value);
+        break;
+      case EventKind::kBlockageEnd:
+        apply_blockage(0.0);
+        if (population() > 0) wake_service(e.time_s);
+        break;
+    }
+  }
+
+  report.peak_population = peak_population_;
+  report.final_population = population();
+  for (auto& n : nodes_) {
+    CellNodeReport r;
+    r.id = n.id;
+    r.join_time_s = n.join_time_s;
+    r.leave_time_s = n.leave_time_s;
+    r.offered_bits = n.offered_bits;
+    r.delivered_bits = n.delivered_bits;
+    r.mean_latency_s = mean(n.latencies_s);
+    r.p95_latency_s = percentile(n.latencies_s, 95.0);
+    r.peak_queue_bits = n.peak_queue_bits;
+    r.final_queue_bits = n.queued_bits;
+    r.service_rate_bps = n.rate_bps;
+    r.rounds_served = n.rounds_served;
+    // Unstable if a served node's final backlog exceeds a couple of rounds
+    // of arrivals (the MacSimulator heuristic, kept verbatim).
+    if (n.alive && n.rate_bps > 0.0 && last_period_s_ > 0.0 &&
+        n.queued_bits > 4.0 * n.spec.arrival_rate_bps * last_period_s_ +
+                            2.0 * payload_bits_) {
+      report.stable = false;
+    }
+    report.aggregate_goodput_bps += n.delivered_bits / duration_s;
+    report.nodes.push_back(std::move(r));
+  }
+  return report;
+}
+
+core::RoundResult CellEngine::run_uplink_round(std::size_t bits_per_node,
+                                               milback::Rng& rng) const {
+  core::RoundResult round;
+  const auto slots = sdm_slots();
+  round.sdm_slots = slots.size();
+  const auto services = flatten_services(slots);
+  std::vector<channel::NodePose> poses;
+  std::vector<std::string> ids;
+  poses.reserve(nodes_.size());
+  ids.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    poses.push_back(n.spec.pose);
+    ids.push_back(n.id);
+  }
+
+  // One draw from the caller's generator seeds every per-node stream; the
+  // streams themselves are pure functions of (round_seed, service index), so
+  // the engine may run them in any order on any number of threads.
+  const std::uint64_t round_seed = rng.engine()();
+  const sim::TrialRunner runner;
+  auto results =
+      runner.map<core::NodeRoundResult>(services.size(), [&](std::size_t k) {
+        auto data_rng = Rng::stream(round_seed, k, std::uint64_t{0});
+        auto noise_rng = Rng::stream(round_seed, k, std::uint64_t{1});
+        return serve_uplink_node(link_, poses, ids, services[k],
+                                 slots[services[k].slot], bits_per_node,
+                                 data_rng, noise_rng);
+      });
+
+  const double slot_share = slots.empty() ? 1.0 : double(slots.size());
+  for (auto& nr : results) {
+    nr.goodput_bps /= slot_share;
+    round.aggregate_goodput_bps += nr.goodput_bps;
+    round.nodes.push_back(std::move(nr));
+  }
+  return round;
+}
+
+core::DownlinkRoundResult CellEngine::run_downlink_round(
+    std::size_t bits_per_node, milback::Rng& rng) const {
+  core::DownlinkRoundResult round;
+  const auto slots = sdm_slots();
+  round.sdm_slots = slots.size();
+  const auto services = flatten_services(slots);
+  std::vector<channel::NodePose> poses;
+  std::vector<std::string> ids;
+  poses.reserve(nodes_.size());
+  ids.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    poses.push_back(n.spec.pose);
+    ids.push_back(n.id);
+  }
+
+  const std::uint64_t round_seed = rng.engine()();
+  const sim::TrialRunner runner;
+  auto results =
+      runner.map<core::NodeDownlinkResult>(services.size(), [&](std::size_t k) {
+        auto data_rng = Rng::stream(round_seed, k, std::uint64_t{0});
+        auto noise_rng = Rng::stream(round_seed, k, std::uint64_t{1});
+        return serve_downlink_node(link_, poses, ids, services[k],
+                                   slots[services[k].slot], bits_per_node,
+                                   data_rng, noise_rng);
+      });
+
+  const double slot_share = slots.empty() ? 1.0 : double(slots.size());
+  for (auto& nr : results) {
+    nr.goodput_bps /= slot_share;
+    round.aggregate_goodput_bps += nr.goodput_bps;
+    round.nodes.push_back(std::move(nr));
+  }
+  return round;
+}
+
+std::vector<std::vector<std::size_t>> CellEngine::sdm_slots() const {
+  std::vector<channel::NodePose> poses;
+  poses.reserve(nodes_.size());
+  for (const auto& n : nodes_) poses.push_back(n.spec.pose);
+  return sdm_partition(poses, config_.network.sdm_min_separation_deg);
+}
+
+double CellEngine::inter_node_isolation_db(std::size_t i, std::size_t j) const {
+  MILBACK_REQUIRE(i < nodes_.size() && j < nodes_.size(),
+                  "inter_node_isolation_db: index out of range");
+  return cell::inter_node_isolation_db(link_.channel(), nodes_[i].spec.pose,
+                                       nodes_[j].spec.pose);
+}
+
+double CellEngine::service_rate_bps(const channel::NodePose& pose) const {
+  return probe_service_rate_bps(link_.channel(), pose, config_.rate);
+}
+
+}  // namespace milback::cell

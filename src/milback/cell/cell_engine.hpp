@@ -1,0 +1,209 @@
+// Discrete-event cell engine: one AP serving a *dynamic* population of
+// backscatter nodes.
+//
+// The pre-existing layers each simulated one slice of cell time — a
+// waveform-level SDM round (MilBackNetwork), a queueing round loop
+// (MacSimulator), one node's adaptive life cycle (AdaptiveSession) — and
+// each had its own private clock. The engine unifies them on a single
+// event queue: node churn (join/leave/move), traffic arrivals, blockage
+// episodes and SDM service sweeps are all events ordered by
+// (time, priority, seq); see event_queue.hpp for the ordering contract.
+//
+// Determinism: run(duration, seed) is a pure function of the scenario and
+// the seed. Every random draw comes from Rng::stream(seed, node, event.seq)
+// — keyed by the event's queue-stamped sequence number, never by a shared
+// generator — and the per-sweep fan-out runs on sim::TrialRunner under its
+// thread-count-invariance contract, so the CellReport is bit-identical with
+// 1 worker or N (tests/integration/test_cell_thread_invariance.cpp).
+//
+// MilBackNetwork and MacSimulator are now thin adapters over this class
+// (field-exact and statistically-equivalent respectively; see
+// tests/integration/test_cell_equivalence.cpp for which guarantee applies
+// where).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "milback/cell/event_queue.hpp"
+#include "milback/cell/sdm.hpp"
+#include "milback/core/rate_adapt.hpp"
+#include "milback/core/round_types.hpp"
+#include "milback/core/session.hpp"
+
+namespace milback::sim {
+class TrialRunner;
+}
+
+namespace milback::cell {
+
+/// Engine tuning.
+struct CellConfig {
+  core::NetworkConfig network{};      ///< Link + SDM configuration.
+  core::RateAdaptConfig rate{};       ///< Shared rate-adaptation thresholds.
+  std::size_t payload_symbols = 512;  ///< Symbols per service packet.
+  double service_period_s = 0.0;      ///< > 0 pins the sweep period; 0 derives
+                                      ///< it per sweep from the SDM slot times
+                                      ///< (the MacSimulator convention).
+  bool run_sessions = false;          ///< Drive a full AdaptiveSession per node
+                                      ///< (acquire/track/lost) instead of the
+                                      ///< budget probe. Requires a pinned
+                                      ///< service_period_s.
+  core::SessionConfig session{};      ///< Per-node session tuning (run_sessions).
+};
+
+/// One node's slice of one service sweep, handed to the observer.
+struct ServiceObservation {
+  double time_s = 0.0;          ///< Sweep start time.
+  std::size_t round = 0;        ///< 0-based service-sweep index.
+  std::size_t node = 0;         ///< Node index (engine-wide, stable).
+  std::string id;               ///< Node identifier.
+  double rate_bps = 0.0;        ///< Service rate chosen this sweep (0 = skipped).
+  double drained_bits = 0.0;    ///< Queue bits drained this sweep.
+  double queued_bits = 0.0;     ///< Backlog after the sweep.
+  bool has_session = false;     ///< Whether `session` is meaningful.
+  core::SessionStep session{};  ///< The node's session round (run_sessions).
+};
+
+/// Per-node outcome of a run.
+struct CellNodeReport {
+  std::string id;
+  double join_time_s = 0.0;        ///< When the node entered the cell.
+  double leave_time_s = -1.0;      ///< When it left (-1 = stayed to the end).
+  double offered_bits = 0.0;       ///< Bits generated.
+  double delivered_bits = 0.0;     ///< Bits drained through the air.
+  double mean_latency_s = 0.0;     ///< Mean queueing+service latency.
+  double p95_latency_s = 0.0;      ///< Tail latency.
+  double peak_queue_bits = 0.0;    ///< Worst backlog.
+  double final_queue_bits = 0.0;   ///< Backlog at the end (growth = overload).
+  double service_rate_bps = 0.0;   ///< Rate chosen at the last sweep.
+  std::size_t rounds_served = 0;   ///< Sweeps in which the node got a slot.
+};
+
+/// Whole-cell outcome of a run.
+struct CellReport {
+  std::vector<CellNodeReport> nodes;     ///< In add_node order.
+  double duration_s = 0.0;               ///< Simulated time.
+  std::size_t service_rounds = 0;        ///< Service sweeps executed.
+  std::size_t events_dispatched = 0;     ///< Total events handled.
+  std::size_t peak_population = 0;       ///< Most nodes alive at once.
+  std::size_t final_population = 0;      ///< Nodes alive at the end.
+  double aggregate_goodput_bps = 0.0;    ///< Total delivered / duration.
+  double cell_capacity_bps = 0.0;        ///< Saturation goodput (last sweep).
+  bool stable = true;                    ///< No served queue grew without bound.
+};
+
+/// The discrete-event cell.
+class CellEngine {
+ public:
+  /// Called once per alive node per service sweep, in node-index order.
+  using ServiceObserver = std::function<void(const ServiceObservation&)>;
+
+  /// Builds the engine over a channel.
+  CellEngine(channel::BackscatterChannel channel, CellConfig config = {});
+
+  /// Registers a node. Nodes with `join_time_s` <= 0 are present from the
+  /// start; later joins enter the cell as kJoin events. Returns the node's
+  /// index (stable for the engine's lifetime).
+  std::size_t add_node(std::string id, const core::TrafficSpec& spec,
+                       double join_time_s = 0.0);
+
+  /// Schedules the node's departure (its backlog freezes at that instant).
+  void schedule_leave(std::size_t node, double time_s);
+
+  /// Schedules a pose update (mobility waypoint).
+  void schedule_move(std::size_t node, double time_s,
+                     const channel::NodePose& pose);
+
+  /// Schedules a blockage episode: `loss_db` of extra one-way path loss on
+  /// every AP-node link from `start_s` to `end_s`.
+  void schedule_blockage(double start_s, double end_s, double loss_db);
+
+  /// Installs the per-service observer (benches tap per-sweep detail here).
+  void set_observer(ServiceObserver observer) { observer_ = std::move(observer); }
+
+  /// Runs `duration_s` of cell time. Single-shot: a CellEngine instance
+  /// runs once (build a fresh engine per trial). The report is a pure
+  /// function of (scenario, seed) at any worker count.
+  CellReport run(double duration_s, std::uint64_t seed);
+
+  /// --- Static-population one-shots (the MilBackNetwork adapter path) ------
+
+  /// One waveform-level uplink SDM round over all registered nodes.
+  /// Field-exact with the pre-engine MilBackNetwork::run_uplink_round.
+  core::RoundResult run_uplink_round(std::size_t bits_per_node,
+                                     milback::Rng& rng) const;
+
+  /// One waveform-level downlink SDM round over all registered nodes.
+  core::DownlinkRoundResult run_downlink_round(std::size_t bits_per_node,
+                                               milback::Rng& rng) const;
+
+  /// Greedy SDM partition of all registered nodes.
+  std::vector<std::vector<std::size_t>> sdm_slots() const;
+
+  /// Beam isolation [dB] between registered nodes i and j.
+  double inter_node_isolation_db(std::size_t i, std::size_t j) const;
+
+  /// Budget-based service rate [bps] for a pose (0 = not worth a slot).
+  double service_rate_bps(const channel::NodePose& pose) const;
+
+  /// --- Accessors -----------------------------------------------------------
+
+  const core::MilBackLink& link() const noexcept { return link_; }
+  const CellConfig& config() const noexcept { return config_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  const std::string& node_id(std::size_t i) const;
+  const channel::NodePose& node_pose(std::size_t i) const;
+  bool node_alive(std::size_t i) const;
+  /// Nodes currently alive.
+  std::size_t population() const noexcept;
+
+ private:
+  struct Chunk {
+    double bits = 0.0;
+    double arrival_s = 0.0;
+  };
+  struct NodeState {
+    std::string id;
+    core::TrafficSpec spec;
+    double join_time_s = 0.0;
+    double leave_time_s = -1.0;
+    bool alive = false;
+    double rate_bps = 0.0;
+    std::deque<Chunk> queue;
+    double queued_bits = 0.0;
+    double offered_bits = 0.0;
+    double delivered_bits = 0.0;
+    double peak_queue_bits = 0.0;
+    std::vector<double> latencies_s;
+    std::size_t rounds_served = 0;
+    std::optional<core::AdaptiveSession> session;
+  };
+
+  std::vector<std::size_t> alive_indices() const;
+  void ensure_session(NodeState& n);
+  void apply_blockage(double loss_db);
+  /// Schedules a service sweep at `time_s` unless one is already pending.
+  void wake_service(double time_s);
+  void dispatch_join(const Event& e);
+  void dispatch_arrival(const Event& e, std::uint64_t seed);
+  void dispatch_service(const Event& e, std::uint64_t seed, double duration_s,
+                        const sim::TrialRunner& runner, CellReport& report);
+
+  CellConfig config_;
+  core::MilBackLink link_;
+  std::vector<NodeState> nodes_;
+  EventQueue queue_;
+  ServiceObserver observer_;
+  bool service_scheduled_ = false;
+  bool ran_ = false;
+  double payload_bits_ = 0.0;
+  double last_period_s_ = 0.0;
+  std::size_t peak_population_ = 0;
+};
+
+}  // namespace milback::cell

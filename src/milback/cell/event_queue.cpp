@@ -1,0 +1,43 @@
+#include "milback/cell/event_queue.hpp"
+
+#include <cmath>
+
+#include "milback/core/contract.hpp"
+
+namespace milback::cell {
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kJoin: return "join";
+    case EventKind::kLeave: return "leave";
+    case EventKind::kMove: return "move";
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kService: return "service";
+    case EventKind::kBlockageStart: return "blockage-start";
+    case EventKind::kBlockageEnd: return "blockage-end";
+  }
+  return "?";
+}
+
+std::uint64_t EventQueue::push(Event e) {
+  MILBACK_REQUIRE(std::isfinite(e.time_s) && e.time_s >= 0.0,
+                  "EventQueue::push: event time must be finite and >= 0");
+  e.seq = next_seq_++;
+  const std::uint64_t seq = e.seq;
+  heap_.push(e);
+  return seq;
+}
+
+const Event& EventQueue::top() const {
+  MILBACK_REQUIRE(!heap_.empty(), "EventQueue::top: queue is empty");
+  return heap_.top();
+}
+
+Event EventQueue::pop() {
+  MILBACK_REQUIRE(!heap_.empty(), "EventQueue::pop: queue is empty");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace milback::cell

@@ -1,0 +1,95 @@
+// Discrete-event core of the cell engine: a (time, priority, seq)-ordered
+// event queue.
+//
+// Every change to a MilBack cell — a node joining or leaving, a pose update,
+// a traffic arrival, an SDM service sweep, a blockage episode — is an Event.
+// Ordering is total and deterministic:
+//   1. time_s      — simulated time, earliest first;
+//   2. priority    — at equal time, lower runs first (churn before arrivals
+//                    before service, so a round always sees a settled
+//                    population);
+//   3. seq         — scheduling order, stamped by the queue on push, breaks
+//                    the remaining ties.
+// The seq stamp is also the determinism key for event randomness: handlers
+// derive their draws as Rng::stream(seed, node, event.seq), so a run is a
+// pure function of (scenario, seed) regardless of worker count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "milback/channel/backscatter_channel.hpp"
+
+namespace milback::cell {
+
+/// What an event does when dispatched.
+enum class EventKind : std::uint8_t {
+  kJoin,           ///< Node enters the cell (carries its pose via the spec).
+  kLeave,          ///< Node departs; its backlog freezes.
+  kMove,           ///< Node pose update (mobility waypoint).
+  kArrival,        ///< Traffic arrival at one node's uplink queue.
+  kService,        ///< One SDM sweep: every slot visited once.
+  kBlockageStart,  ///< Blockage episode begins (value = one-way loss dB).
+  kBlockageEnd,    ///< Blockage episode ends.
+};
+
+/// Human-readable kind (logs and test diagnostics).
+const char* event_kind_name(EventKind kind) noexcept;
+
+/// Dispatch priorities at equal time: churn settles the population first,
+/// arrivals land next, the service sweep sees the final state of the round.
+inline constexpr int kPriorityChurn = 0;
+inline constexpr int kPriorityArrival = 1;
+inline constexpr int kPriorityService = 2;
+
+/// One scheduled cell event.
+struct Event {
+  /// Sentinel node index for cell-wide events (service, blockage).
+  static constexpr std::size_t kCellWide = static_cast<std::size_t>(-1);
+
+  double time_s = 0.0;                   ///< Simulated dispatch time.
+  int priority = kPriorityService;       ///< Tie-break at equal time.
+  EventKind kind = EventKind::kService;  ///< What to do.
+  std::size_t node = kCellWide;          ///< Target node (kCellWide if none).
+  channel::NodePose pose{};              ///< kMove payload.
+  double value = 0.0;                    ///< kBlockageStart: loss [dB];
+                                         ///< kArrival: round period [s].
+  std::uint64_t seq = 0;                 ///< Stamped by EventQueue::push.
+};
+
+/// Min-queue over (time_s, priority, seq). Push stamps a monotonically
+/// increasing seq, making the order total and run-to-run stable.
+class EventQueue {
+ public:
+  /// Enqueues `e` (its seq field is overwritten). Returns the stamped seq.
+  /// Requires a finite, non-negative time.
+  std::uint64_t push(Event e);
+
+  /// Whether any events remain.
+  bool empty() const noexcept { return heap_.empty(); }
+
+  /// Number of pending events.
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// The next event to dispatch. Requires a non-empty queue.
+  const Event& top() const;
+
+  /// Removes and returns the next event. Requires a non-empty queue.
+  Event pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time_s != b.time_s) return a.time_s > b.time_s;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace milback::cell

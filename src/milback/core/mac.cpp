@@ -1,152 +1,53 @@
 #include "milback/core/mac.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "milback/channel/link_budget.hpp"
-#include "milback/core/ber.hpp"
-#include "milback/util/stats.hpp"
-#include "milback/util/units.hpp"
-
 namespace milback::core {
 
 MacSimulator::MacSimulator(channel::BackscatterChannel channel, MacConfig config)
     : config_(config), channel_(std::move(channel)) {}
 
 std::size_t MacSimulator::add_node(std::string id, const TrafficSpec& spec) {
-  NodeState n;
-  n.id = std::move(id);
-  n.spec = spec;
-  nodes_.push_back(std::move(n));
+  nodes_.push_back(NodeSpec{std::move(id), spec});
   return nodes_.size() - 1;
 }
 
 double MacSimulator::service_rate_bps(const channel::NodePose& pose) const {
-  const auto pair = channel_.fsa().carrier_pair_for_angle(pose.orientation_deg);
-  if (!pair) return 0.0;
-  rf::RfSwitch sw{rf::RfSwitchConfig{}};
-  const auto budget = channel::compute_uplink_budget(channel_, pose,
-                                                     antenna::FsaPort::kA, pair->first,
-                                                     sw, 10e6);
-  if (budget.snr_db >= config_.snr_for_40mbps_db) return 40e6;
-  if (budget.snr_db >= config_.snr_for_10mbps_db) return 10e6;
-  return 0.0;
+  return cell::probe_service_rate_bps(channel_, pose, config_.rate);
 }
 
 MacReport MacSimulator::run(double duration_s, milback::Rng& rng) {
+  // The engine is single-shot; each run replays the static population as a
+  // fresh scenario seeded by one draw from the caller's generator (so the
+  // caller's RNG advances exactly once per run, runs-in-sequence stay
+  // decorrelated, and the engine's own draws are stateless event streams).
+  cell::CellConfig cfg;
+  cfg.network = config_.network;
+  cfg.rate = config_.rate;
+  cfg.payload_symbols = config_.payload_symbols;
+  cell::CellEngine engine(channel_, cfg);
+  for (const auto& n : nodes_) engine.add_node(n.id, n.spec);
+  const std::uint64_t seed = rng.engine()();
+  const auto cell = engine.run(duration_s, seed);
+
   MacReport report;
-  report.duration_s = duration_s;
-
-  // Build the SDM schedule once (nodes are static here).
-  std::vector<std::vector<std::size_t>> slots;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    bool placed = false;
-    for (auto& slot : slots) {
-      const bool ok = std::all_of(slot.begin(), slot.end(), [&](std::size_t j) {
-        return std::abs(nodes_[i].spec.pose.azimuth_deg -
-                        nodes_[j].spec.pose.azimuth_deg) >=
-               config_.network.sdm_min_separation_deg;
-      });
-      if (ok) {
-        slot.push_back(i);
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) slots.push_back({i});
-  }
-
-  // Per-node service rate and packet air time; the round period is the time
-  // to visit every slot once, each slot lasting as long as its slowest
-  // member's packet.
-  double round_period_s = 0.0;
-  double capacity_bps = 0.0;
-  for (auto& n : nodes_) {
-    n.rate_bps = service_rate_bps(n.spec.pose);
-  }
-  std::vector<double> slot_time(slots.size(), 0.0);
-  for (std::size_t s = 0; s < slots.size(); ++s) {
-    for (const auto i : slots[s]) {
-      if (nodes_[i].rate_bps <= 0.0) continue;
-      const auto timing = compute_timing(
-          PacketConfig{.preamble = {}, .payload_symbols = config_.payload_symbols},
-          LinkDirection::kUplink, nodes_[i].rate_bps / 2.0);
-      slot_time[s] = std::max(slot_time[s], timing.total_s);
-    }
-    round_period_s += slot_time[s];
-  }
-  if (round_period_s <= 0.0) {
-    report.stable = true;
-    return report;
-  }
-  const double payload_bits = double(config_.payload_symbols) * 2.0;
-  for (const auto& n : nodes_) {
-    if (n.rate_bps > 0.0) capacity_bps += payload_bits / round_period_s;
-  }
-  report.cell_capacity_bps = capacity_bps;
-
-  // Discrete rounds.
-  double now = 0.0;
-  while (now < duration_s) {
-    // Arrivals for the upcoming round.
-    for (auto& n : nodes_) {
-      const double mean_bits = n.spec.arrival_rate_bps * round_period_s;
-      const double jitter = n.spec.burstiness > 0.0
-                                ? std::max(0.0, 1.0 + n.spec.burstiness *
-                                                          rng.gaussian(0.0, 0.5))
-                                : 1.0;
-      const double bits = mean_bits * jitter;
-      if (bits > 0.0) {
-        n.queue.push_back({bits, now});
-        n.queued_bits += bits;
-        n.offered_bits += bits;
-        n.peak_queue_bits = std::max(n.peak_queue_bits, n.queued_bits);
-      }
-    }
-
-    // Service: one packet per reachable node per round.
-    for (const auto& slot : slots) {
-      for (const auto i : slot) {
-        auto& n = nodes_[i];
-        if (n.rate_bps <= 0.0) continue;
-        double budget = payload_bits;
-        const double service_done_s = now + round_period_s;
-        while (budget > 0.0 && !n.queue.empty()) {
-          auto& chunk = n.queue.front();
-          const double take = std::min(chunk.bits, budget);
-          chunk.bits -= take;
-          budget -= take;
-          n.queued_bits -= take;
-          n.delivered_bits += take;
-          if (chunk.bits <= 1e-9) {
-            n.latencies_s.push_back(service_done_s - chunk.arrival_s);
-            n.queue.pop_front();
-          }
-        }
-      }
-    }
-    now += round_period_s;
-    report.rounds += 1.0;
-  }
-
-  // Reports.
-  for (auto& n : nodes_) {
+  report.duration_s = cell.duration_s;
+  // Legacy contract: a cell where no node is servable reports clean and
+  // empty (round period undefined), rather than a list of all-zero nodes.
+  if (cell.service_rounds == 0) return report;
+  report.rounds = cell.service_rounds;
+  report.aggregate_goodput_bps = cell.aggregate_goodput_bps;
+  report.cell_capacity_bps = cell.cell_capacity_bps;
+  report.stable = cell.stable;
+  report.nodes.reserve(cell.nodes.size());
+  for (const auto& n : cell.nodes) {
     MacNodeReport r;
     r.id = n.id;
     r.offered_bits = n.offered_bits;
     r.delivered_bits = n.delivered_bits;
-    r.mean_latency_s = mean(n.latencies_s);
-    r.p95_latency_s = percentile(n.latencies_s, 95.0);
+    r.mean_latency_s = n.mean_latency_s;
+    r.p95_latency_s = n.p95_latency_s;
     r.peak_queue_bits = n.peak_queue_bits;
-    r.final_queue_bits = n.queued_bits;
-    r.service_rate_bps = n.rate_bps;
-    // Unstable if the final backlog exceeds a couple of rounds of arrivals.
-    if (n.rate_bps > 0.0 &&
-        n.queued_bits > 4.0 * n.spec.arrival_rate_bps * round_period_s +
-                            2.0 * payload_bits) {
-      report.stable = false;
-    }
-    report.aggregate_goodput_bps += n.delivered_bits / duration_s;
+    r.final_queue_bits = n.final_queue_bits;
+    r.service_rate_bps = n.service_rate_bps;
     report.nodes.push_back(std::move(r));
   }
   return report;

@@ -3,35 +3,32 @@
 // The paper establishes per-link rates (Figs 14/15) and sketches SDM for
 // multiple nodes (Section 7); this layer answers the next question a network
 // operator asks: with N tags generating traffic, what latency and goodput
-// does the cell actually deliver? The simulator runs discrete service
-// rounds: every round the AP visits each SDM slot once, each visited node
-// drains its uplink queue through a Section-7 packet sized by the link's
-// current budget (rate adaptation as in the session layer), and queued
-// traffic is timestamped so per-chunk latency is exact.
+// does the cell actually deliver?
+//
+// MacSimulator is now a thin adapter over the discrete-event cell engine
+// (src/milback/cell/): each run() builds a CellEngine with this static
+// population and replays it as join-at-zero nodes with periodic arrival and
+// service events. The report semantics are unchanged — same SDM schedule,
+// round period, drain rule, latency accounting and stability heuristic —
+// but arrival jitter now draws from stateless per-event streams instead of
+// the caller's generator, so runs are statistically (not bit-) identical to
+// the pre-engine loop (see tests/integration/test_cell_equivalence.cpp).
 #pragma once
 
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "milback/cell/cell_engine.hpp"
 #include "milback/core/network.hpp"
 #include "milback/core/throughput.hpp"
 
 namespace milback::core {
 
-/// Traffic description for one node.
-struct TrafficSpec {
-  channel::NodePose pose{};          ///< Where the tag sits.
-  double arrival_rate_bps = 50e3;    ///< Mean offered uplink load.
-  double burstiness = 1.0;           ///< Arrival jitter: 0 = CBR, 1 = heavy jitter.
-};
-
 /// MAC tuning.
 struct MacConfig {
   NetworkConfig network{};           ///< Link + SDM configuration.
   std::size_t payload_symbols = 512; ///< Symbols per service packet.
-  double snr_for_40mbps_db = 16.0;   ///< Rate-adaptation threshold.
-  double snr_for_10mbps_db = 10.0;   ///< Below this the node is skipped.
+  RateAdaptConfig rate{};            ///< Shared rate-adaptation thresholds.
 };
 
 /// Per-node outcome of a simulation.
@@ -50,13 +47,13 @@ struct MacNodeReport {
 struct MacReport {
   std::vector<MacNodeReport> nodes;
   double duration_s = 0.0;           ///< Simulated time.
-  double rounds = 0.0;               ///< Service rounds executed.
+  std::size_t rounds = 0;            ///< Service rounds executed.
   double aggregate_goodput_bps = 0.0;  ///< Total delivered / duration.
   double cell_capacity_bps = 0.0;    ///< Estimated saturation goodput.
   bool stable = true;                ///< No queue grew without bound.
 };
 
-/// Discrete-round MAC simulator.
+/// Discrete-round MAC simulator (adapter over cell::CellEngine).
 class MacSimulator {
  public:
   /// Builds the simulator over a channel.
@@ -65,7 +62,8 @@ class MacSimulator {
   /// Registers a traffic source. Returns its index.
   std::size_t add_node(std::string id, const TrafficSpec& spec);
 
-  /// Runs `duration_s` of cell time with the given RNG.
+  /// Runs `duration_s` of cell time. One value is drawn from `rng` to seed
+  /// the engine's stateless event streams.
   MacReport run(double duration_s, milback::Rng& rng);
 
   /// Budget-based service rate [bps] for a pose (0 = unreachable).
@@ -75,25 +73,14 @@ class MacSimulator {
   const MacConfig& config() const noexcept { return config_; }
 
  private:
-  struct Chunk {
-    double bits;
-    double arrival_s;
-  };
-  struct NodeState {
+  struct NodeSpec {
     std::string id;
     TrafficSpec spec;
-    std::deque<Chunk> queue;
-    double queued_bits = 0.0;
-    double offered_bits = 0.0;
-    double delivered_bits = 0.0;
-    double peak_queue_bits = 0.0;
-    std::vector<double> latencies_s;
-    double rate_bps = 0.0;
   };
 
   MacConfig config_;
   channel::BackscatterChannel channel_;
-  std::vector<NodeState> nodes_;
+  std::vector<NodeSpec> nodes_;
 };
 
 }  // namespace milback::core

@@ -1,18 +1,25 @@
 #include "milback/core/network.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "milback/core/ber.hpp"
-#include "milback/sim/trial_runner.hpp"
-#include "milback/util/units.hpp"
+#include <utility>
 
 namespace milback::core {
 
-MilBackNetwork::MilBackNetwork(channel::BackscatterChannel channel, NetworkConfig config)
-    : config_(config), link_(std::move(channel), config.link) {}
+namespace {
+
+cell::CellConfig engine_config(const NetworkConfig& config) {
+  cell::CellConfig cfg;
+  cfg.network = config;
+  return cfg;
+}
+
+}  // namespace
+
+MilBackNetwork::MilBackNetwork(channel::BackscatterChannel channel,
+                               NetworkConfig config)
+    : engine_(std::move(channel), engine_config(config)) {}
 
 std::size_t MilBackNetwork::add_node(std::string id, const channel::NodePose& pose) {
+  engine_.add_node(id, TrafficSpec{.pose = pose});
   nodes_.push_back(NetworkNode{std::move(id), pose});
   return nodes_.size() - 1;
 }
@@ -23,182 +30,29 @@ std::vector<DiscoveryResult> MilBackNetwork::discover(milback::Rng& rng) const {
   for (const auto& n : nodes_) {
     DiscoveryResult d;
     d.id = n.id;
-    d.localization = link_.localize(n.pose, rng);
-    d.orientation = link_.sense_orientation_at_ap(n.pose, rng);
+    d.localization = engine_.link().localize(n.pose, rng);
+    d.orientation = engine_.link().sense_orientation_at_ap(n.pose, rng);
     out.push_back(std::move(d));
   }
   return out;
 }
 
 std::vector<std::vector<std::size_t>> MilBackNetwork::sdm_slots() const {
-  std::vector<std::vector<std::size_t>> slots;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    bool placed = false;
-    for (auto& slot : slots) {
-      const bool compatible = std::all_of(slot.begin(), slot.end(), [&](std::size_t j) {
-        return std::abs(nodes_[i].pose.azimuth_deg - nodes_[j].pose.azimuth_deg) >=
-               config_.sdm_min_separation_deg;
-      });
-      if (compatible) {
-        slot.push_back(i);
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) slots.push_back({i});
-  }
-  return slots;
+  return engine_.sdm_slots();
 }
 
 double MilBackNetwork::inter_node_isolation_db(std::size_t i, std::size_t j) const {
-  const double offset =
-      std::abs(nodes_[i].pose.azimuth_deg - nodes_[j].pose.azimuth_deg);
-  const auto& tx = link_.channel().ap_tx_antenna();
-  const auto& rx = link_.channel().ap_rx_antenna();
-  // The beam serving node i both illuminates node j and receives from it
-  // attenuated by the pattern at the bearing offset (two pattern passes).
-  const double tx_rejection = tx.config().boresight_gain_dbi - tx.gain_dbi(offset);
-  const double rx_rejection = rx.config().boresight_gain_dbi - rx.gain_dbi(offset);
-  return tx_rejection + rx_rejection;
-}
-
-std::vector<MilBackNetwork::Service> MilBackNetwork::flatten_services(
-    const std::vector<std::vector<std::size_t>>& slots) const {
-  std::vector<Service> services;
-  services.reserve(nodes_.size());
-  for (std::size_t s = 0; s < slots.size(); ++s) {
-    for (const std::size_t i : slots[s]) services.push_back(Service{s, i});
-  }
-  return services;
-}
-
-NodeRoundResult MilBackNetwork::serve_uplink_node(
-    const Service& sv, const std::vector<std::size_t>& slot_members,
-    std::size_t bits_per_node, milback::Rng& data_rng, milback::Rng& noise_rng) const {
-  const std::size_t i = sv.node;
-  NodeRoundResult nr;
-  nr.id = nodes_[i].id;
-  nr.sdm_slot = sv.slot;
-
-  const auto bits = data_rng.bits(bits_per_node);
-  nr.uplink = link_.run_uplink(nodes_[i].pose, bits, noise_rng);
-
-  // Degrade the budget SNR by concurrent transmitters in this slot.
-  double interference_w = 0.0;
-  rf::RfSwitch sw(link_.node().config().rf_switch);
-  const double mod = channel::modulation_power_coeff(sw);
-  for (const std::size_t j : slot_members) {
-    if (j == i) continue;
-    const double p_j = dbm2watt(link_.channel().backscatter_power_dbm(
-        antenna::FsaPort::kA,
-        link_.channel().fsa().config().center_frequency_hz, nodes_[j].pose, mod));
-    interference_w += p_j * db2lin(-inter_node_isolation_db(i, j));
-  }
-  const double signal_w = dbm2watt(
-      nr.uplink.carriers_ok
-          ? link_.channel().backscatter_power_dbm(
-                antenna::FsaPort::kA, nr.uplink.carriers.f_a_hz, nodes_[i].pose, mod)
-          : -300.0);
-  const double noise_w = link_.channel().effective_uplink_noise_w(
-      signal_w, link_.config().uplink_bit_rate_bps);
-  nr.effective_snr_db = lin2db(std::max(signal_w, 1e-300) /
-                               (noise_w + interference_w));
-
-  const double ber = ber_ook_noncoherent(db2lin(nr.effective_snr_db));
-  nr.goodput_bps = (1.0 - ber) * link_.config().uplink_bit_rate_bps;
-  return nr;
+  return engine_.inter_node_isolation_db(i, j);
 }
 
 RoundResult MilBackNetwork::run_uplink_round(std::size_t bits_per_node,
                                              milback::Rng& rng) const {
-  RoundResult round;
-  const auto slots = sdm_slots();
-  round.sdm_slots = slots.size();
-  const auto services = flatten_services(slots);
-
-  // One draw from the caller's generator seeds every per-node stream; the
-  // streams themselves are pure functions of (round_seed, service index), so
-  // the engine may run them in any order on any number of threads.
-  const std::uint64_t round_seed = rng.engine()();
-  const sim::TrialRunner runner;
-  auto results = runner.map<NodeRoundResult>(services.size(), [&](std::size_t k) {
-    auto data_rng = Rng::stream(round_seed, k, std::uint64_t{0});
-    auto noise_rng = Rng::stream(round_seed, k, std::uint64_t{1});
-    return serve_uplink_node(services[k], slots[services[k].slot], bits_per_node,
-                             data_rng, noise_rng);
-  });
-
-  const double slot_share = slots.empty() ? 1.0 : double(slots.size());
-  for (auto& nr : results) {
-    nr.goodput_bps /= slot_share;
-    round.aggregate_goodput_bps += nr.goodput_bps;
-    round.nodes.push_back(std::move(nr));
-  }
-  return round;
-}
-
-MilBackNetwork::NodeDownlinkResult MilBackNetwork::serve_downlink_node(
-    const Service& sv, const std::vector<std::size_t>& slot_members,
-    std::size_t bits_per_node, milback::Rng& data_rng, milback::Rng& noise_rng) const {
-  const std::size_t i = sv.node;
-  NodeDownlinkResult nr;
-  nr.id = nodes_[i].id;
-  nr.sdm_slot = sv.slot;
-
-  const auto bits = data_rng.bits(bits_per_node);
-  nr.downlink = link_.run_downlink(nodes_[i].pose, bits, noise_rng);
-
-  // Inter-beam leakage: the beam serving node j also illuminates node i,
-  // attenuated by the TX horn pattern at their bearing offset. Node i's
-  // detector integrates that extra power as interference on top of its
-  // own cross-port (sidelobe) term and detector noise.
-  if (nr.downlink.carriers_ok) {
-    const rf::EnvelopeDetector det{link_.node().config().detector};
-    const double p_sig_w = dbm2watt(link_.channel().incident_port_power_dbm(
-        antenna::FsaPort::kA, nr.downlink.carriers.f_a_hz, nodes_[i].pose));
-    double interference_w =
-        p_sig_w * db2lin(link_.channel().fsa().config().sidelobe_floor_db);
-    const auto& tx = link_.channel().ap_tx_antenna();
-    for (const std::size_t j : slot_members) {
-      if (j == i) continue;
-      const double offset =
-          std::abs(nodes_[i].pose.azimuth_deg - nodes_[j].pose.azimuth_deg);
-      const double rejection_db =
-          tx.config().boresight_gain_dbi - tx.gain_dbi(offset);
-      interference_w += p_sig_w * db2lin(-rejection_db);
-    }
-    const double noise_eq_w = det.input_power_for_voltage(std::sqrt(
-        det.noise_power_v2(link_.config().downlink_measurement_bw_hz)));
-    nr.effective_sinr_db = lin2db(p_sig_w / (noise_eq_w + interference_w));
-    const double ber = ber_ook_noncoherent(db2lin(nr.effective_sinr_db));
-    nr.goodput_bps = (1.0 - ber) * link_.config().downlink_bit_rate_bps;
-  }
-  return nr;
+  return engine_.run_uplink_round(bits_per_node, rng);
 }
 
 MilBackNetwork::DownlinkRoundResult MilBackNetwork::run_downlink_round(
     std::size_t bits_per_node, milback::Rng& rng) const {
-  DownlinkRoundResult round;
-  const auto slots = sdm_slots();
-  round.sdm_slots = slots.size();
-  const auto services = flatten_services(slots);
-
-  const std::uint64_t round_seed = rng.engine()();
-  const sim::TrialRunner runner;
-  auto results = runner.map<NodeDownlinkResult>(services.size(), [&](std::size_t k) {
-    auto data_rng = Rng::stream(round_seed, k, std::uint64_t{0});
-    auto noise_rng = Rng::stream(round_seed, k, std::uint64_t{1});
-    return serve_downlink_node(services[k], slots[services[k].slot], bits_per_node,
-                               data_rng, noise_rng);
-  });
-
-  const double slot_share = slots.empty() ? 1.0 : double(slots.size());
-  for (auto& nr : results) {
-    nr.goodput_bps /= slot_share;
-    round.aggregate_goodput_bps += nr.goodput_bps;
-    round.nodes.push_back(std::move(nr));
-  }
-  return round;
+  return engine_.run_downlink_round(bits_per_node, rng);
 }
 
 }  // namespace milback::core

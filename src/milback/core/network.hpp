@@ -6,27 +6,22 @@
 // time division. When two nodes are active in the same SDM slot, each
 // link's budget is degraded by the other node's backscatter leaking through
 // the horn sidelobes.
+//
+// MilBackNetwork is now a thin adapter over the discrete-event cell engine
+// (src/milback/cell/): the SDM partition, isolation model and per-node
+// service moved there verbatim, so run_uplink_round / run_downlink_round
+// return bit-identical results to the pre-engine implementation
+// (tests/integration/test_cell_equivalence.cpp) while the same machinery
+// also serves dynamic populations.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "milback/core/link.hpp"
+#include "milback/cell/cell_engine.hpp"
+#include "milback/core/round_types.hpp"
 
 namespace milback::core {
-
-/// A registered node.
-struct NetworkNode {
-  std::string id;            ///< Caller-chosen identifier.
-  channel::NodePose pose{};  ///< Ground-truth pose (the simulation's truth).
-};
-
-/// Network-level configuration.
-struct NetworkConfig {
-  LinkConfig link{};
-  double sdm_min_separation_deg = 20.0;  ///< Bearing separation for concurrent
-                                         ///< beams (~ horn beamwidth).
-};
 
 /// Outcome of discovering one node.
 struct DiscoveryResult {
@@ -35,25 +30,14 @@ struct DiscoveryResult {
   ap::ApOrientationResult orientation{};
 };
 
-/// One node's slice of a network round.
-struct NodeRoundResult {
-  std::string id;
-  UplinkRunResult uplink{};
-  double effective_snr_db = 0.0;  ///< Budget SNR after inter-node interference.
-  double goodput_bps = 0.0;       ///< (1 - BER) * rate / slot-share.
-  std::size_t sdm_slot = 0;       ///< Which concurrent slot served this node.
-};
-
-/// Outcome of one full service round.
-struct RoundResult {
-  std::vector<NodeRoundResult> nodes;
-  std::size_t sdm_slots = 0;       ///< Number of sequential slots used.
-  double aggregate_goodput_bps = 0.0;
-};
-
-/// The AP plus a population of nodes.
+/// The AP plus a static population of nodes.
 class MilBackNetwork {
  public:
+  /// Nested aliases kept for pre-refactor call sites; the types themselves
+  /// now live in round_types.hpp.
+  using NodeDownlinkResult = core::NodeDownlinkResult;
+  using DownlinkRoundResult = core::DownlinkRoundResult;
+
   /// Builds the network over a channel.
   MilBackNetwork(channel::BackscatterChannel channel, NetworkConfig config = {});
 
@@ -84,22 +68,6 @@ class MilBackNetwork {
   /// count.
   RoundResult run_uplink_round(std::size_t bits_per_node, milback::Rng& rng) const;
 
-  /// One node's slice of a downlink round.
-  struct NodeDownlinkResult {
-    std::string id;
-    DownlinkRunResult downlink{};
-    double effective_sinr_db = 0.0;  ///< Budget SINR after inter-beam leakage.
-    double goodput_bps = 0.0;        ///< (1 - BER) * rate / slot share.
-    std::size_t sdm_slot = 0;
-  };
-
-  /// Outcome of one downlink service round.
-  struct DownlinkRoundResult {
-    std::vector<NodeDownlinkResult> nodes;
-    std::size_t sdm_slots = 0;
-    double aggregate_goodput_bps = 0.0;
-  };
-
   /// Runs one downlink round: the AP pushes `bits_per_node` to every node;
   /// concurrent beams within a slot leak into each other through the horn
   /// pattern, degrading each link's effective SINR. Parallelized like
@@ -108,35 +76,10 @@ class MilBackNetwork {
                                          milback::Rng& rng) const;
 
   /// Link access (all nodes share the hardware configuration).
-  const MilBackLink& link() const noexcept { return link_; }
+  const MilBackLink& link() const noexcept { return engine_.link(); }
 
  private:
-  /// One (slot, node) service of a round, in slot-major order.
-  struct Service {
-    std::size_t slot = 0;
-    std::size_t node = 0;
-  };
-
-  /// Flattens sdm_slots() into slot-major (slot, node) pairs — the engine's
-  /// trial index space for a round.
-  std::vector<Service> flatten_services(
-      const std::vector<std::vector<std::size_t>>& slots) const;
-
-  /// Serves node `sv.node` in slot `sv.slot` of an uplink round.
-  NodeRoundResult serve_uplink_node(const Service& sv,
-                                    const std::vector<std::size_t>& slot_members,
-                                    std::size_t bits_per_node, milback::Rng& data_rng,
-                                    milback::Rng& noise_rng) const;
-
-  /// Serves node `sv.node` in slot `sv.slot` of a downlink round.
-  NodeDownlinkResult serve_downlink_node(const Service& sv,
-                                         const std::vector<std::size_t>& slot_members,
-                                         std::size_t bits_per_node,
-                                         milback::Rng& data_rng,
-                                         milback::Rng& noise_rng) const;
-
-  NetworkConfig config_;
-  MilBackLink link_;
+  cell::CellEngine engine_;
   std::vector<NetworkNode> nodes_;
 };
 

@@ -18,14 +18,8 @@ std::pair<double, bool> AdaptiveSession::adapt(double snr_db) const noexcept {
   // Measured quality outranks the budget: if recent payloads erred, back off
   // to the conservative operating point whatever the model predicts.
   if (measured_ber_ema_ > config_.ber_backoff) return {10e6, true};
-  if (snr_db >= config_.snr_for_40mbps_db) {
-    return {40e6, snr_db < config_.snr_for_40mbps_db + config_.fec_margin_db};
-  }
-  if (snr_db >= config_.snr_for_10mbps_db) {
-    return {10e6, snr_db < config_.snr_for_10mbps_db + config_.fec_margin_db};
-  }
-  // Below the raw-10 Mbps threshold: keep trying at 10 Mbps with FEC.
-  return {10e6, true};
+  const auto decision = adapt_rate(config_.rate, snr_db);
+  return {decision.rate_bps, decision.fec};
 }
 
 SessionStep AdaptiveSession::step(const channel::NodePose& true_pose,
@@ -44,6 +38,9 @@ SessionStep AdaptiveSession::step(const channel::NodePose& true_pose,
       out.localized = true;
       out.range_m = tracker_.state().range_m();
       out.angle_deg = tracker_.state().azimuth_deg();
+      out.raw_range_m = dets.front().fix.range_m;
+      out.raw_angle_deg = dets.front().fix.angle_deg;
+      out.speed_mps = tracker_.state().speed_mps();
     } else {
       state_ = SessionState::kAcquiring;
     }
@@ -57,6 +54,11 @@ SessionStep AdaptiveSession::step(const channel::NodePose& true_pose,
   out.localized = fix.detected;
   out.range_m = tracker_.state().range_m();
   out.angle_deg = tracker_.state().azimuth_deg();
+  if (fix.detected) {
+    out.raw_range_m = fix.range_m;
+    out.raw_angle_deg = fix.angle_deg;
+  }
+  out.speed_mps = tracker_.state().speed_mps();
 
   if (!tracker_.healthy()) {
     state_ = SessionState::kLost;

@@ -18,6 +18,7 @@
 #include "milback/ap/beam_scanner.hpp"
 #include "milback/core/fec.hpp"
 #include "milback/core/link.hpp"
+#include "milback/core/rate_adapt.hpp"
 #include "milback/core/tracker.hpp"
 
 namespace milback::core {
@@ -27,10 +28,9 @@ struct SessionConfig {
   LinkConfig link{};
   ap::BeamScanConfig scan{};
   TrackerConfig tracker{};
-  double snr_for_40mbps_db = 16.0;  ///< Budget SNR to run 40 Mbps raw.
-  double snr_for_10mbps_db = 12.0;  ///< Budget SNR to run 10 Mbps raw.
-  double fec_margin_db = 3.0;       ///< Enable FEC within this margin of the
-                                    ///< chosen rate's threshold.
+  RateAdaptConfig rate{};           ///< Shared rate/FEC thresholds (the same
+                                    ///< source of truth the MAC and cell
+                                    ///< engine consume).
   std::size_t payload_bits = 512;   ///< Data bits per round.
   std::size_t max_comm_failures = 3;  ///< Consecutive failed payload rounds
                                       ///< before the link is declared lost
@@ -57,6 +57,10 @@ struct SessionStep {
   bool localized = false;           ///< This round produced a fix.
   double range_m = 0.0;             ///< Smoothed track range.
   double angle_deg = 0.0;           ///< Smoothed track bearing.
+  double raw_range_m = 0.0;         ///< This round's unsmoothed fix range
+                                    ///< (0 when not localized).
+  double raw_angle_deg = 0.0;       ///< This round's unsmoothed fix bearing.
+  double speed_mps = 0.0;           ///< Track's range-rate estimate.
   double budget_snr_db = 0.0;       ///< Uplink budget SNR at the fix.
   double uplink_rate_bps = 0.0;     ///< Chosen channel rate (0 in acquisition).
   bool fec_enabled = false;         ///< Whether Hamming(7,4) was applied.
