@@ -29,6 +29,8 @@
 #include "milback/dsp/fft_plan.hpp"
 #include "milback/dsp/oscillator.hpp"
 #include "milback/dsp/window.hpp"
+#include "milback/obs/registry.hpp"
+#include "milback/obs/span.hpp"
 #include "milback/radar/background_subtraction.hpp"
 #include "milback/radar/beat_synthesis.hpp"
 
@@ -204,6 +206,84 @@ void BM_CellEngine_SessionCell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CellEngine_SessionCell)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Observability overhead. The instrumented engines above all run with
+// telemetry off (the default), so their numbers already price the null-sink
+// branch into every hot path; these benches isolate the cost directly.
+// ---------------------------------------------------------------------------
+
+// The churn scenario with telemetry fully enabled vs the disabled default.
+// The pair bounds the end-to-end overhead of the obs layer; the disabled
+// run must stay within a few percent of BM_CellEngine_ChurnScenario.
+void run_churn_scenario() {
+  auto engine = make_cell_engine();
+  for (std::size_t i = 0; i < 16; ++i) {
+    const double bearing = -40.0 + 5.0 * double(i);
+    engine.add_node("t" + std::to_string(i),
+                    {.pose = {2.0 + 0.15 * double(i), bearing, 12.0},
+                     .arrival_rate_bps = 100e3},
+                    (i % 4 == 3) ? 0.02 : 0.0);
+    if (i % 5 == 4) engine.schedule_leave(i, 0.06);
+    if (i % 3 == 1) {
+      engine.schedule_move(i, 0.04, {3.0, bearing + 2.0, 12.0});
+    }
+  }
+  engine.schedule_blockage(0.05, 0.07, 15.0);
+  auto report = engine.run(0.1, 78);
+  benchmark::DoNotOptimize(report);
+}
+
+void BM_Obs_DisabledOverhead(benchmark::State& state) {
+  obs::set_enabled(false, false);
+  for (auto _ : state) run_churn_scenario();
+}
+BENCHMARK(BM_Obs_DisabledOverhead)->Unit(benchmark::kMillisecond);
+
+void BM_Obs_EnabledChurn(benchmark::State& state) {
+  obs::set_enabled(true, true);
+  obs::Registry::global().reset();
+  for (auto _ : state) run_churn_scenario();
+  obs::Registry::global().reset();
+  obs::set_enabled(false, false);
+}
+BENCHMARK(BM_Obs_EnabledChurn)->Unit(benchmark::kMillisecond);
+
+// Raw per-record cost of the three primitives with telemetry off: each call
+// must reduce to one relaxed atomic load and a branch.
+void BM_Obs_CounterHistSpan_Disabled(benchmark::State& state) {
+  obs::set_enabled(false, false);
+  auto c = obs::Registry::global().counter("bench.obs.counter");
+  auto h = obs::Registry::global().histogram("bench.obs.hist");
+  const auto span_id = obs::Registry::global().trace_name("bench.obs.span");
+  double t = 0.0;
+  for (auto _ : state) {
+    c.add();
+    h.record(t);
+    obs::Span s(span_id, t);
+    s.end(t + 1e-6);
+    t += 1e-6;
+  }
+  benchmark::DoNotOptimize(t);
+}
+BENCHMARK(BM_Obs_CounterHistSpan_Disabled);
+
+void BM_Obs_CounterHist_Enabled(benchmark::State& state) {
+  obs::set_enabled(true, false);
+  obs::Registry::global().reset();
+  auto c = obs::Registry::global().counter("bench.obs.counter");
+  auto h = obs::Registry::global().histogram("bench.obs.hist");
+  double t = 0.0;
+  for (auto _ : state) {
+    c.add();
+    h.record(t);
+    t += 1e-6;
+  }
+  benchmark::DoNotOptimize(t);
+  obs::Registry::global().reset();
+  obs::set_enabled(false, false);
+}
+BENCHMARK(BM_Obs_CounterHist_Enabled);
 
 // ---------------------------------------------------------------------------
 // Per-kernel before/after pairs.

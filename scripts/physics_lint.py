@@ -25,6 +25,12 @@ Rules:
       src/ outside src/milback/cell/ -- round-by-round simulation belongs to
       the discrete-event cell engine (cell::CellEngine), where churn,
       blockage and determinism keying are handled once.
+  R9  clock discipline: no std::chrono in src/ outside src/milback/obs/ --
+      simulation timestamps must come from sim time (event-queue seconds,
+      sample indices), never wall clock, or results stop being
+      reproducible. Wall-clock profiling goes through obs::ProfileScope,
+      which records into runtime-class metrics that are excluded from the
+      deterministic exports.
 
 Exit status is non-zero when any violation is found.
 """
@@ -81,6 +87,11 @@ TRIG_PHASOR_ALLOWED_PREFIX = "src/milback/dsp/"
 # the discrete-event cell engine replaces.
 ROUND_LOOP = re.compile(r"\b(?:for|while)\s*\([^)]*\bround\w*\b")
 ROUND_LOOP_ALLOWED_PREFIX = "src/milback/cell/"
+
+# R9: wall-clock access in simulation code -- sim timestamps must be sim
+# time; the only sanctioned std::chrono user is the obs profiling scope.
+CHRONO = re.compile(r"\bstd::chrono\b")
+CHRONO_ALLOWED_PREFIX = "src/milback/obs/"
 
 COMMENT_LINE = re.compile(r"^\s*(?://|\*|/\*)")
 
@@ -151,6 +162,16 @@ def lint_file(root: Path, path: Path, errors: list[str]) -> None:
             errors.append(
                 f"{rel}:{i}: [R8] ad-hoc round time loop outside"
                 " src/milback/cell/ -- drive rounds through cell::CellEngine"
+            )
+
+        if (
+            rel.startswith("src/")
+            and not rel.startswith(CHRONO_ALLOWED_PREFIX)
+            and CHRONO.search(line)
+        ):
+            errors.append(
+                f"{rel}:{i}: [R9] std::chrono outside src/milback/obs/ --"
+                " stamp sim time, or profile via obs::ProfileScope"
             )
 
         if is_public_header:

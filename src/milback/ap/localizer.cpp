@@ -4,11 +4,41 @@
 
 #include "milback/channel/propagation.hpp"
 #include "milback/core/contract.hpp"
+#include "milback/obs/registry.hpp"
+#include "milback/obs/span.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::ap {
 
 namespace {
+
+// Localization-pipeline telemetry. Spans live on the SAMPLE-INDEX timeline
+// (beat sample 0 .. n_chirps * samples_per_chirp), one subtrack per stage —
+// a deterministic clock, unlike wall time.
+struct LocObs {
+  obs::Counter calls, detections;
+  obs::Histogram detection_snr_db;
+  std::uint32_t synth_span = 0, fft_span = 0, subtract_span = 0, cfar_span = 0,
+                aoa_span = 0;
+};
+
+const LocObs& loc_obs() {
+  static const LocObs instance = [] {
+    auto& r = obs::Registry::global();
+    LocObs o;
+    o.calls = r.counter("ap.localize.calls");
+    o.detections = r.counter("ap.localize.detections");
+    o.detection_snr_db =
+        r.histogram("ap.detection_snr_db", obs::HistogramSpec{0.25, 1.15, 50});
+    o.synth_span = r.trace_name("ap.synthesize_burst");
+    o.fft_span = r.trace_name("ap.range_fft");
+    o.subtract_span = r.trace_name("ap.background_subtract");
+    o.cfar_span = r.trace_name("ap.cfar");
+    o.aoa_span = r.trace_name("ap.aoa");
+    return o;
+  }();
+  return instance;
+}
 
 using antenna::FsaPort;
 using channel::BackscatterChannel;
@@ -203,9 +233,19 @@ LocalizationResult Localizer::localize(const BackscatterChannel& channel,
     states[i] = (i % 2 == 0) ? rf::SwitchState::kReflect : rf::SwitchState::kAbsorb;
   }
 
+  loc_obs().calls.add();
+  const double burst_samples =
+      double(radar::samples_per_chirp(config_.chirp, config_.beat_sample_rate_hz)) *
+      double(config_.n_chirps);
+
+  obs::Span synth_span(loc_obs().synth_span, 0.0,
+                       obs::trace_lane(obs::kLaneLocalizer, 0));
   const auto burst = synthesize_burst(channel, pose, states, slope_scale,
                                       result.steered_azimuth_deg, rng);
+  synth_span.end(burst_samples);
 
+  obs::Span fft_span(loc_obs().fft_span, 0.0,
+                     obs::trace_lane(obs::kLaneLocalizer, 1));
   std::vector<radar::RangeSpectrum> spectra0, spectra1;
   for (std::size_t i = 0; i < burst.rx0.size(); ++i) {
     spectra0.push_back(
@@ -215,22 +255,35 @@ LocalizationResult Localizer::localize(const BackscatterChannel& channel,
         radar::range_fft(burst.rx1[i], config_.beat_sample_rate_hz, config_.chirp,
                          config_.fft));
   }
+  fft_span.end(burst_samples);
 
+  obs::Span subtract_span(loc_obs().subtract_span, 0.0,
+                          obs::trace_lane(obs::kLaneLocalizer, 2));
   const auto sub0 = radar::background_subtract(spectra0);
   const auto sub1 = radar::background_subtract(spectra1);
+  subtract_span.end(burst_samples);
 
+  const double n_bins = double(sub0.first_difference.size());
+  obs::Span cfar_span(loc_obs().cfar_span, 0.0,
+                      obs::trace_lane(obs::kLaneLocalizer, 3));
   const auto det = radar::estimate_range(sub0, spectra0.front(), config_.range);
+  cfar_span.end(n_bins);
   if (!det) return result;
 
   result.detected = true;
   result.range_m = det->range_m;
   result.detection_snr_db = det->snr_db;
+  loc_obs().detections.add();
+  loc_obs().detection_snr_db.record(det->snr_db);
 
   // Angle: phase of the first difference spectrum at the detected bin.
   const auto bin = std::size_t(std::llround(det->bin));
   if (bin < sub0.first_difference.size() && bin < sub1.first_difference.size()) {
+    obs::Span aoa_span(loc_obs().aoa_span, double(bin),
+                       obs::trace_lane(obs::kLaneLocalizer, 4));
     result.aoa_offset_deg = radar::estimate_offset_deg(
         sub0.first_difference[bin], sub1.first_difference[bin], config_.aoa);
+    aoa_span.end(double(bin + 1));
   }
   result.angle_deg =
       result.steered_azimuth_deg + result.aoa_offset_deg.value_or(0.0);

@@ -11,6 +11,55 @@
 
 namespace milback::cell {
 
+namespace {
+
+// Bucket layouts for the cell metrics (fixed at first registration).
+constexpr obs::HistogramSpec kLatencySpec{1e-6, 1.3, 80};     // 1 us .. ~20 min
+constexpr obs::HistogramSpec kRateSpec{1e3, 1.5, 40};         // 1 kbps .. ~10 Gbps
+constexpr obs::HistogramSpec kSnrSpec{0.25, 1.15, 50};        // 0.25 .. ~270 dB
+constexpr obs::HistogramSpec kPopulationSpec{1.0, 1.3, 40};   // 1 .. ~36k nodes
+
+// Cell-wide metric handles, interned once per process. Everything here is
+// kSim: recording happens only on the event-loop thread, in event order, so
+// the merged values are a pure function of (scenario, seed).
+struct CellObs {
+  obs::Counter ev_join, ev_leave, ev_move, ev_arrival, ev_service;
+  obs::Counter ev_blockage_start, ev_blockage_end;
+  obs::Counter runs, sweeps, sweeps_skipped_nodes;
+  obs::Gauge queue_depth;
+  obs::Histogram latency_s, service_rate_bps, session_snr_db, sweep_population;
+  std::uint32_t sweep_span = 0;
+  std::uint32_t blockage_span = 0;
+};
+
+const CellObs& cell_obs() {
+  static const CellObs instance = [] {
+    auto& r = obs::Registry::global();
+    CellObs o;
+    o.ev_join = r.counter("cell.events.join");
+    o.ev_leave = r.counter("cell.events.leave");
+    o.ev_move = r.counter("cell.events.move");
+    o.ev_arrival = r.counter("cell.events.arrival");
+    o.ev_service = r.counter("cell.events.service");
+    o.ev_blockage_start = r.counter("cell.events.blockage_start");
+    o.ev_blockage_end = r.counter("cell.events.blockage_end");
+    o.runs = r.counter("cell.runs");
+    o.sweeps = r.counter("cell.sweeps");
+    o.sweeps_skipped_nodes = r.counter("cell.sweeps.skipped_nodes");
+    o.queue_depth = r.gauge("cell.queue_depth");
+    o.latency_s = r.histogram("cell.latency_s", kLatencySpec);
+    o.service_rate_bps = r.histogram("cell.service_rate_bps", kRateSpec);
+    o.session_snr_db = r.histogram("cell.session_snr_db", kSnrSpec);
+    o.sweep_population = r.histogram("cell.sweep_population", kPopulationSpec);
+    o.sweep_span = r.trace_name("cell.sweep");
+    o.blockage_span = r.trace_name("cell.blockage");
+    return o;
+  }();
+  return instance;
+}
+
+}  // namespace
+
 CellEngine::CellEngine(channel::BackscatterChannel channel, CellConfig config)
     : config_(config),
       link_(std::move(channel), config.network.link),
@@ -25,6 +74,14 @@ std::size_t CellEngine::add_node(std::string id, const core::TrafficSpec& spec,
   n.spec = spec;
   n.join_time_s = std::max(join_time_s, 0.0);
   n.alive = join_time_s <= 0.0;
+  if (obs::metrics_enabled()) {
+    // Per-node metric names are only built (and interned) when telemetry is
+    // live at registration; the handles stay inert otherwise.
+    auto& r = obs::Registry::global();
+    n.obs_latency = r.histogram("cell.node." + n.id + ".latency_s", kLatencySpec);
+    n.obs_snr = r.histogram("cell.node." + n.id + ".snr_db", kSnrSpec);
+    n.obs_drops = r.counter("cell.node." + n.id + ".sweeps_skipped");
+  }
   nodes_.push_back(std::move(n));
   const std::size_t index = nodes_.size() - 1;
   if (join_time_s > 0.0) {
@@ -168,6 +225,10 @@ void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
           steps[k].state == core::SessionState::kTracking
               ? steps[k].uplink_rate_bps
               : 0.0;
+      if (steps[k].localized) {
+        cell_obs().session_snr_db.record(steps[k].budget_snr_db);
+        nodes_[alive[k]].obs_snr.record(steps[k].budget_snr_db);
+      }
     }
   } else {
     const auto rates = runner.map<double>(alive.size(), [&](std::size_t k) {
@@ -206,6 +267,20 @@ void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
 
   const std::size_t round = report.service_rounds;
   report.service_rounds += 1;
+  cell_obs().sweeps.add();
+  cell_obs().sweep_population.record(double(alive.size()));
+  for (const auto i : alive) {
+    if (nodes_[i].rate_bps > 0.0) {
+      cell_obs().service_rate_bps.record(nodes_[i].rate_bps);
+    } else {
+      cell_obs().sweeps_skipped_nodes.add();
+      nodes_[i].obs_drops.add();
+    }
+  }
+  // The sweep span covers the service window [start, start + period] in sim
+  // seconds — the same interval the drained chunks' latencies close against.
+  obs::Span sweep_span(cell_obs().sweep_span, e.time_s,
+                       obs::trace_lane(obs::kLaneCell));
   last_period_s_ = period_s;
   double capacity_bps = 0.0;
   for (const auto i : alive) {
@@ -231,12 +306,16 @@ void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
         n.delivered_bits += take;
         drained[k] += take;
         if (chunk.bits <= 1e-9) {
-          n.latencies_s.push_back(service_done_s - chunk.arrival_s);
+          const double latency_s = service_done_s - chunk.arrival_s;
+          n.latencies_s.push_back(latency_s);
+          cell_obs().latency_s.record(latency_s);
+          n.obs_latency.record(latency_s);
           n.queue.pop_front();
         }
       }
     }
   }
+  sweep_span.end(service_done_s);
 
   if (observer_) {
     for (std::size_t k = 0; k < alive.size(); ++k) {
@@ -329,36 +408,52 @@ CellReport CellEngine::run(double duration_s, std::uint64_t seed) {
     wake_service(0.0);
   }
 
+  cell_obs().runs.add();
   while (!queue_.empty() && queue_.top().time_s < duration_s) {
     const Event e = queue_.pop();
     report.events_dispatched += 1;
     switch (e.kind) {
       case EventKind::kJoin:
+        cell_obs().ev_join.add();
         dispatch_join(e);
         break;
       case EventKind::kLeave:
+        cell_obs().ev_leave.add();
         nodes_[e.node].alive = false;
         nodes_[e.node].leave_time_s = e.time_s;
         break;
       case EventKind::kMove:
+        cell_obs().ev_move.add();
         nodes_[e.node].spec.pose = e.pose;
         if (nodes_[e.node].alive) wake_service(e.time_s);
         break;
       case EventKind::kArrival:
+        cell_obs().ev_arrival.add();
         dispatch_arrival(e, seed);
         break;
       case EventKind::kService:
+        cell_obs().ev_service.add();
         dispatch_service(e, seed, duration_s, runner, report);
         break;
       case EventKind::kBlockageStart:
+        cell_obs().ev_blockage_start.add();
+        blockage_span_ = obs::Span(cell_obs().blockage_span, e.time_s,
+                                   obs::trace_lane(obs::kLaneCell, 1));
         apply_blockage(e.value);
         break;
       case EventKind::kBlockageEnd:
+        cell_obs().ev_blockage_end.add();
+        blockage_span_.end(e.time_s);
         apply_blockage(0.0);
         if (population() > 0) wake_service(e.time_s);
         break;
     }
+    // Post-dispatch backlog of the event queue (single-threaded, so the
+    // last-write value is deterministic).
+    cell_obs().queue_depth.set(double(queue_.size()));
   }
+  // A blockage still open at the horizon closes there in the trace.
+  blockage_span_.end(duration_s);
 
   report.peak_population = peak_population_;
   report.final_population = population();
@@ -370,7 +465,9 @@ CellReport CellEngine::run(double duration_s, std::uint64_t seed) {
     r.offered_bits = n.offered_bits;
     r.delivered_bits = n.delivered_bits;
     r.mean_latency_s = mean(n.latencies_s);
-    r.p95_latency_s = percentile(n.latencies_s, 95.0);
+    const auto pcts = percentiles(n.latencies_s, {50.0, 95.0});
+    r.p50_latency_s = pcts[0];
+    r.p95_latency_s = pcts[1];
     r.peak_queue_bits = n.peak_queue_bits;
     r.final_queue_bits = n.queued_bits;
     r.service_rate_bps = n.rate_bps;

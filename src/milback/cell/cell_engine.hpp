@@ -34,6 +34,8 @@
 #include "milback/core/rate_adapt.hpp"
 #include "milback/core/round_types.hpp"
 #include "milback/core/session.hpp"
+#include "milback/obs/registry.hpp"
+#include "milback/obs/span.hpp"
 
 namespace milback::sim {
 class TrialRunner;
@@ -77,6 +79,7 @@ struct CellNodeReport {
   double offered_bits = 0.0;       ///< Bits generated.
   double delivered_bits = 0.0;     ///< Bits drained through the air.
   double mean_latency_s = 0.0;     ///< Mean queueing+service latency.
+  double p50_latency_s = 0.0;      ///< Median latency.
   double p95_latency_s = 0.0;      ///< Tail latency.
   double peak_queue_bits = 0.0;    ///< Worst backlog.
   double final_queue_bits = 0.0;   ///< Backlog at the end (growth = overload).
@@ -182,6 +185,11 @@ class CellEngine {
     std::vector<double> latencies_s;
     std::size_t rounds_served = 0;
     std::optional<core::AdaptiveSession> session;
+    // Per-node telemetry (inert handles unless metrics were enabled when the
+    // node was added; recording is always a no-op while metrics are off).
+    obs::Histogram obs_latency;   ///< cell.node.<id>.latency_s
+    obs::Histogram obs_snr;       ///< cell.node.<id>.snr_db (run_sessions)
+    obs::Counter obs_drops;       ///< cell.node.<id>.sweeps_skipped
   };
 
   std::vector<std::size_t> alive_indices() const;
@@ -201,6 +209,7 @@ class CellEngine {
   ServiceObserver observer_;
   bool service_scheduled_ = false;
   bool ran_ = false;
+  obs::Span blockage_span_;  ///< Open while a blockage episode is active.
   double payload_bits_ = 0.0;
   double last_period_s_ = 0.0;
   std::size_t peak_population_ = 0;

@@ -1,6 +1,25 @@
 #include "milback/core/mac.hpp"
 
+#include "milback/obs/registry.hpp"
+
 namespace milback::core {
+
+namespace {
+
+struct MacObs {
+  obs::Counter runs;              ///< mac.runs — MacSimulator::run calls.
+  obs::Counter unservable_cells;  ///< mac.unservable_cells — runs with 0 sweeps.
+};
+
+const MacObs& mac_obs() {
+  static const MacObs instance = [] {
+    auto& r = obs::Registry::global();
+    return MacObs{r.counter("mac.runs"), r.counter("mac.unservable_cells")};
+  }();
+  return instance;
+}
+
+}  // namespace
 
 MacSimulator::MacSimulator(channel::BackscatterChannel channel, MacConfig config)
     : config_(config), channel_(std::move(channel)) {}
@@ -27,12 +46,16 @@ MacReport MacSimulator::run(double duration_s, milback::Rng& rng) {
   for (const auto& n : nodes_) engine.add_node(n.id, n.spec);
   const std::uint64_t seed = rng.engine()();
   const auto cell = engine.run(duration_s, seed);
+  mac_obs().runs.add();
 
   MacReport report;
   report.duration_s = cell.duration_s;
   // Legacy contract: a cell where no node is servable reports clean and
   // empty (round period undefined), rather than a list of all-zero nodes.
-  if (cell.service_rounds == 0) return report;
+  if (cell.service_rounds == 0) {
+    mac_obs().unservable_cells.add();
+    return report;
+  }
   report.rounds = cell.service_rounds;
   report.aggregate_goodput_bps = cell.aggregate_goodput_bps;
   report.cell_capacity_bps = cell.cell_capacity_bps;

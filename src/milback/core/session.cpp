@@ -3,9 +3,40 @@
 #include <algorithm>
 #include <cmath>
 
+#include "milback/obs/registry.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::core {
+
+namespace {
+
+// Session-layer retry telemetry: how often links acquire, fail a payload
+// round, fall back to acquisition, or lean on FEC. Steps may run on
+// TrialRunner workers (the cell engine's per-sweep fan-out); counter sums
+// are schedule-independent, so these stay kSim.
+struct SessionObs {
+  obs::Counter rounds;         ///< session.rounds — step() calls.
+  obs::Counter acquired;       ///< session.acquired — successful acquisitions.
+  obs::Counter comm_failures;  ///< session.comm_failures — failed payload rounds.
+  obs::Counter lost;           ///< session.lost — transitions to kLost.
+  obs::Counter fec_rounds;     ///< session.fec_rounds — rounds with FEC on.
+};
+
+const SessionObs& session_obs() {
+  static const SessionObs instance = [] {
+    auto& r = obs::Registry::global();
+    SessionObs o;
+    o.rounds = r.counter("session.rounds");
+    o.acquired = r.counter("session.acquired");
+    o.comm_failures = r.counter("session.comm_failures");
+    o.lost = r.counter("session.lost");
+    o.fec_rounds = r.counter("session.fec_rounds");
+    return o;
+  }();
+  return instance;
+}
+
+}  // namespace
 
 AdaptiveSession::AdaptiveSession(channel::BackscatterChannel channel,
                                  SessionConfig config)
@@ -25,11 +56,13 @@ std::pair<double, bool> AdaptiveSession::adapt(double snr_db) const noexcept {
 SessionStep AdaptiveSession::step(const channel::NodePose& true_pose,
                                   milback::Rng& rng) {
   SessionStep out;
+  session_obs().rounds.add();
 
   if (state_ != SessionState::kTracking) {
     // --- Acquisition: sweep the sector. ---
     const auto dets = scanner_.scan(link_.channel(), {true_pose}, rng);
     if (!dets.empty() && dets.front().fix.detected) {
+      session_obs().acquired.add();
       tracker_ = NodeTracker(config_.tracker);  // fresh track
       tracker_.update(dets.front().fix, std::nullopt);
       comm_failures_ = 0;
@@ -62,6 +95,7 @@ SessionStep AdaptiveSession::step(const channel::NodePose& true_pose,
 
   if (!tracker_.healthy()) {
     state_ = SessionState::kLost;
+    session_obs().lost.add();
     out.state = state_;
     return out;
   }
@@ -81,6 +115,7 @@ SessionStep AdaptiveSession::step(const channel::NodePose& true_pose,
   const auto [rate, fec] = adapt(out.budget_snr_db);
   out.uplink_rate_bps = rate;
   out.fec_enabled = fec;
+  if (fec) session_obs().fec_rounds.add();
 
   // Payload: encode if FEC chosen, run the uplink, decode, count data errors.
   auto data_rng = rng.fork(0x5e55);
@@ -90,10 +125,12 @@ SessionStep AdaptiveSession::step(const channel::NodePose& true_pose,
   // Liveness: only the node's modulated reply proves the link is real. A
   // clutter residue can fake a localization fix but cannot answer a query.
   const bool comm_failed = !run.carriers_ok || run.ber > config_.comm_failure_ber;
+  if (comm_failed) session_obs().comm_failures.add();
   comm_failures_ = comm_failed ? comm_failures_ + 1 : 0;
   measured_ber_ema_ = 0.5 * measured_ber_ema_ + 0.5 * (run.carriers_ok ? run.ber : 0.5);
   if (comm_failures_ >= config_.max_comm_failures) {
     state_ = SessionState::kLost;
+    session_obs().lost.add();
     comm_failures_ = 0;
   }
   if (!run.carriers_ok) {

@@ -8,6 +8,7 @@
 
 #include "milback/core/contract.hpp"
 #include "milback/dsp/fft.hpp"
+#include "milback/obs/registry.hpp"
 
 namespace milback::dsp {
 
@@ -131,9 +132,17 @@ void FftPlan::forward_real(const std::vector<double>& x,
 const FftPlan& fft_plan(std::size_t n) {
   static std::mutex mutex;
   static std::unordered_map<std::size_t, std::unique_ptr<const FftPlan>> cache;
+  static const obs::Counter hits = obs::Registry::global().counter("dsp.fft_plan.hits");
+  static const obs::Counter misses =
+      obs::Registry::global().counter("dsp.fft_plan.misses");
   const std::lock_guard<std::mutex> lock(mutex);
   auto& slot = cache[n];
-  if (!slot) slot = std::make_unique<const FftPlan>(n);
+  if (!slot) {
+    misses.add();
+    slot = std::make_unique<const FftPlan>(n);
+  } else {
+    hits.add();
+  }
   return *slot;
 }
 

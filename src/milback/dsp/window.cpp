@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "milback/core/contract.hpp"
+#include "milback/obs/registry.hpp"
 
 namespace milback::dsp {
 
@@ -72,8 +73,16 @@ const CachedWindow& cached_window(WindowType type, std::size_t n) {
   // Window lengths are sample counts per chirp/burst — far below 2^56.
   const std::uint64_t key =
       (std::uint64_t(type) << 56) | (std::uint64_t(n) & ((1ULL << 56) - 1));
+  static const obs::Counter hits = obs::Registry::global().counter("dsp.window.hits");
+  static const obs::Counter misses =
+      obs::Registry::global().counter("dsp.window.misses");
   const std::lock_guard<std::mutex> lock(mutex);
   auto& slot = cache[key];
+  if (slot) {
+    hits.add();
+  } else {
+    misses.add();
+  }
   if (!slot) {
     auto entry = std::make_unique<CachedWindow>();
     entry->samples = make_window(type, n);

@@ -1,0 +1,52 @@
+// Exporters for the observability registry.
+//
+// Three text formats over the same merged state:
+//
+//   metrics_jsonl()     one JSON object per line per metric — the machine-
+//                       readable dump (and what the thread-invariance test
+//                       byte-compares).
+//   prometheus_text()   Prometheus-style exposition page (counters, gauges,
+//                       cumulative `le` histogram buckets).
+//   chrome_trace_json() Chrome trace-event JSON ("traceEvents" array of
+//                       complete "X" events) — drag into Perfetto / about:tracing.
+//
+// Determinism: metrics serialize in name order, spans in (t_begin, t_end,
+// lane, name) order, and doubles print via shortest-round-trip to_chars, so
+// identical metric state produces identical bytes. kRuntime metrics
+// (wall-clock profiles, worker utilization) are excluded unless
+// include_runtime is set — they are scheduling-dependent and would break the
+// bit-identical guarantee.
+//
+// write_env_exports() drops metrics.jsonl + metrics.prom into
+// $MILBACK_METRICS_DIR and trace.json into $MILBACK_TRACE_DIR (no-op for
+// unset vars). The bundled benches and examples call it before exiting.
+#pragma once
+
+#include <string>
+
+namespace milback::obs {
+
+/// JSONL metrics dump in name order. Runtime-class metrics are appended
+/// after the sim-class block when include_runtime is true.
+std::string metrics_jsonl(bool include_runtime = false);
+
+/// Prometheus-style exposition text. Metric names are sanitised to
+/// [a-zA-Z0-9_:] and prefixed "milback_".
+std::string prometheus_text(bool include_runtime = true);
+
+/// Chrome trace-event JSON of every collected span, with process/thread name
+/// metadata for the known lanes. Timestamps are sim time scaled to
+/// microseconds (the trace-event unit), not wall clock.
+std::string chrome_trace_json();
+
+/// Writes `contents` to `path`, creating parent directories. Returns false
+/// (after printing to stderr) on I/O failure instead of throwing.
+bool write_text_file(const std::string& path, const std::string& contents);
+
+/// Writes the standard export files into the directories named by
+/// MILBACK_METRICS_DIR / MILBACK_TRACE_DIR; silently does nothing for unset
+/// variables. Runtime-class metrics are included in the JSONL/Prometheus
+/// files (clearly tagged), since a human asked for them by setting the var.
+void write_env_exports();
+
+}  // namespace milback::obs

@@ -1,0 +1,55 @@
+// Wall-clock profiling scopes.
+//
+// ProfileScope measures real elapsed time (std::chrono::steady_clock) and
+// records it into a RUNTIME-class histogram of nanoseconds. Runtime metrics
+// are scheduling-dependent by definition and are therefore excluded from the
+// deterministic exports the thread-invariance tests compare — this is the one
+// place in src/milback/ allowed to read a wall clock (physics_lint R9).
+//
+//   static const obs::Histogram kH =
+//       obs::Registry::global().histogram("sim.worker_task_ns",
+//                                         obs::profile_ns_spec(),
+//                                         obs::MetricClass::kRuntime);
+//   { obs::ProfileScope p(kH); work(); }   // records elapsed ns on exit
+//
+// When metrics are disabled the constructor is one relaxed load + branch and
+// the clock is never read.
+#pragma once
+
+#include <chrono>
+
+#include "milback/obs/registry.hpp"
+
+namespace milback::obs {
+
+/// Bucket layout for nanosecond profiles: 1 ns .. ~78 s at 1.6x resolution.
+inline HistogramSpec profile_ns_spec() noexcept {
+  return HistogramSpec{/*min_edge=*/1.0, /*growth=*/1.6, /*buckets=*/54};
+}
+
+/// RAII wall-clock timer recording elapsed nanoseconds into a runtime-class
+/// histogram. Non-copyable, non-movable (measure exactly one scope).
+class ProfileScope {
+ public:
+  explicit ProfileScope(const Histogram& hist) noexcept {
+    if (!metrics_enabled() || !hist.valid()) return;
+    hist_ = &hist;
+    t0_ = std::chrono::steady_clock::now();
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  ~ProfileScope() {
+    if (hist_ == nullptr) return;
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    hist_->record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  }
+
+ private:
+  const Histogram* hist_ = nullptr;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace milback::obs

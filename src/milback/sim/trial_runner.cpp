@@ -8,8 +8,42 @@
 #include <thread>
 
 #include "milback/core/contract.hpp"
+#include "milback/obs/profile.hpp"
+#include "milback/obs/registry.hpp"
 
 namespace milback::sim {
+
+namespace {
+
+// Pool telemetry. `regions`/`tasks` are schedule-independent (kSim); which
+// worker ran how many tasks is not, so the utilization metrics are kRuntime
+// and stay out of the deterministic exports.
+struct SimObs {
+  obs::Counter regions;        ///< sim.regions — for_each calls dispatched.
+  obs::Counter tasks;          ///< sim.tasks — total indices executed.
+  obs::Counter steals;         ///< sim.steals — tasks pulled by helper threads.
+  obs::Histogram worker_tasks; ///< sim.worker_tasks — tasks per worker/region.
+  obs::Histogram region_ns;    ///< sim.region_ns — wall time per region.
+};
+
+const SimObs& sim_obs() {
+  static const SimObs instance = [] {
+    auto& r = obs::Registry::global();
+    SimObs o;
+    o.regions = r.counter("sim.regions");
+    o.tasks = r.counter("sim.tasks");
+    o.steals = r.counter("sim.steals", obs::MetricClass::kRuntime);
+    o.worker_tasks = r.histogram("sim.worker_tasks",
+                                 obs::HistogramSpec{1.0, 1.5, 40},
+                                 obs::MetricClass::kRuntime);
+    o.region_ns = r.histogram("sim.region_ns", obs::profile_ns_spec(),
+                              obs::MetricClass::kRuntime);
+    return o;
+  }();
+  return instance;
+}
+
+}  // namespace
 
 int resolve_thread_count(int requested) {
   if (requested > 0) return requested;
@@ -28,11 +62,15 @@ void TrialRunner::for_each(std::size_t n,
                            const std::function<void(std::size_t)>& fn) const {
   MILBACK_REQUIRE(bool(fn), "TrialRunner::for_each: fn must be callable");
   if (n == 0) return;
+  sim_obs().regions.add();
+  sim_obs().tasks.add(n);
+  const obs::ProfileScope region_profile(sim_obs().region_ns);
 
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(threads_), n);
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    sim_obs().worker_tasks.record(double(n));
     return;
   }
 
@@ -43,12 +81,14 @@ void TrialRunner::for_each(std::size_t n,
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  const auto worker = [&] {
+  const auto worker = [&](bool helper) {
+    std::size_t executed = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n) break;
       try {
         fn(i);
+        ++executed;
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(error_mutex);
@@ -56,15 +96,22 @@ void TrialRunner::for_each(std::size_t n,
         }
         // Park the shared index past the end so peers stop pulling new work.
         next.store(n, std::memory_order_relaxed);
-        return;
+        break;
       }
+    }
+    if (executed > 0) {
+      sim_obs().worker_tasks.record(double(executed));
+      if (helper) sim_obs().steals.add(executed);
     }
   };
 
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
-  worker();  // The calling thread is worker 0.
+  // Helper threads flush their thread-local metric sinks when they exit,
+  // before join() returns — merged state is complete once for_each returns.
+  for (std::size_t w = 1; w < workers; ++w)
+    pool.emplace_back(worker, /*helper=*/true);
+  worker(/*helper=*/false);  // The calling thread is worker 0.
   for (auto& t : pool) t.join();
 
   if (first_error) std::rethrow_exception(first_error);

@@ -3,10 +3,13 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "milback/core/contract.hpp"
+
 namespace milback {
 
 CsvWriter::CsvWriter(const std::string& dir, const std::string& name,
                      const std::vector<std::string>& header) {
+  width_ = header.size();
   if (dir.empty()) return;
   out_.emplace(dir + "/" + name + ".csv");
   if (!out_->is_open()) {
@@ -17,6 +20,10 @@ CsvWriter::CsvWriter(const std::string& dir, const std::string& name,
 }
 
 void CsvWriter::row(const std::vector<double>& values) {
+  // Width is checked even when no file is open, so a bench with a malformed
+  // row fails in CI instead of only when someone sets MILBACK_CSV_DIR.
+  MILBACK_REQUIRE(values.size() == width_,
+                  "CsvWriter::row: row width != header width");
   if (!out_) return;
   std::ostringstream line;
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -27,6 +34,8 @@ void CsvWriter::row(const std::vector<double>& values) {
 }
 
 void CsvWriter::row_strings(const std::vector<std::string>& values) {
+  MILBACK_REQUIRE(values.size() == width_,
+                  "CsvWriter::row_strings: row width != header width");
   if (!out_) return;
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i) *out_ << ',';

@@ -2,6 +2,7 @@
 // external plotting (set MILBACK_CSV_DIR to a directory to enable).
 #pragma once
 
+#include <cstddef>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -19,10 +20,12 @@ class CsvWriter {
   CsvWriter(const std::string& dir, const std::string& name,
             const std::vector<std::string>& header);
 
-  /// Appends one row. Size need not match the header (CSV is forgiving).
+  /// Appends one row. The size MUST match the header width (checked with
+  /// MILBACK_REQUIRE even when the writer is inactive, so malformed benches
+  /// fail deterministically rather than only when CSV dumping is on).
   void row(const std::vector<double>& values);
 
-  /// Appends one row of preformatted strings.
+  /// Appends one row of preformatted strings. Same width contract as row().
   void row_strings(const std::vector<std::string>& values);
 
   /// True if a file is actually being written.
@@ -33,6 +36,7 @@ class CsvWriter {
 
  private:
   std::optional<std::ofstream> out_;
+  std::size_t width_ = 0;  ///< Header width every row must match.
 };
 
 }  // namespace milback

@@ -39,16 +39,41 @@ double max_value(std::span<const double> xs) noexcept {
   return *std::max_element(xs.begin(), xs.end());
 }
 
-double percentile(std::span<const double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
+namespace {
+
+// Interpolated percentile of an already-sorted, non-empty sample.
+double sorted_percentile(const std::vector<double>& sorted, double p) {
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * double(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
   const auto hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - double(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_percentile(sorted, p);
+}
+
+std::vector<double> percentiles(std::span<const double> xs,
+                                std::span<const double> ps) {
+  if (xs.empty()) return std::vector<double>(ps.size(), 0.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (const double p : ps) out.push_back(sorted_percentile(sorted, p));
+  return out;
+}
+
+std::vector<double> percentiles(std::span<const double> xs,
+                                std::initializer_list<double> ps) {
+  return percentiles(xs, std::span<const double>(ps.begin(), ps.size()));
 }
 
 double median(std::span<const double> xs) { return percentile(xs, 50.0); }

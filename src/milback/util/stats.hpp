@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <initializer_list>
 #include <span>
 #include <vector>
 
@@ -29,6 +30,17 @@ double max_value(std::span<const double> xs) noexcept;
 /// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
 /// Returns 0 for an empty span.
 double percentile(std::span<const double> xs, double p);
+
+/// Several percentiles of the same sample in one pass: copies and sorts `xs`
+/// ONCE, then interpolates every requested p (in [0, 100]). Result aligns
+/// with `ps`; each entry equals percentile(xs, ps[i]) exactly. Returns all
+/// zeros for an empty sample.
+std::vector<double> percentiles(std::span<const double> xs,
+                                std::span<const double> ps);
+
+/// Initializer-list convenience: `percentiles(latencies, {50.0, 95.0})`.
+std::vector<double> percentiles(std::span<const double> xs,
+                                std::initializer_list<double> ps);
 
 /// Median (50th percentile).
 double median(std::span<const double> xs);

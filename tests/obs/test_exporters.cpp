@@ -1,0 +1,303 @@
+// Exporter output: JSONL structure, sim-only filtering, Prometheus text and
+// Chrome trace-event JSON (validated with a tiny recursive-descent JSON
+// parser — the file must be loadable, not just plausible).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "milback/obs/exporters.hpp"
+#include "milback/obs/registry.hpp"
+#include "milback/obs/span.hpp"
+
+namespace milback::obs {
+namespace {
+
+class ObsExportersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true, true);
+    Registry::global().reset();
+  }
+  void TearDown() override {
+    Registry::global().reset();
+    set_enabled(false, false);
+  }
+};
+
+// --- tiny JSON validity checker -------------------------------------------
+// Accepts exactly the JSON grammar; returns true iff `s` is one complete
+// JSON value with nothing trailing. No DOM — we only care about validity.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') { ++pos_; if (!digits()) return false; }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) ++pos_;
+  }
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool is_valid_json(const std::string& s) { return JsonChecker(s).valid(); }
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) ++n;
+  return n;
+}
+
+// --- tests -----------------------------------------------------------------
+
+TEST_F(ObsExportersTest, JsonlEmitsOneValidObjectPerMetricInNameOrder) {
+  Registry::global().counter("t.exp.order.b").add(2);
+  Registry::global().counter("t.exp.order.a").add(1);
+  Registry::global().gauge("t.exp.order.g").set(0.5);
+  const std::string out = metrics_jsonl();
+  std::istringstream in(out);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  // Registrations persist across reset(), so a whole-binary run may carry
+  // other suites' metrics too — require at least ours, each line valid JSON.
+  ASSERT_GE(lines.size(), 3u);
+  for (const auto& l : lines) EXPECT_TRUE(is_valid_json(l)) << l;
+  const auto a = out.find("\"t.exp.order.a\"");
+  const auto b = out.find("\"t.exp.order.b\"");
+  const auto g = out.find("\"t.exp.order.g\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(g, std::string::npos);
+  EXPECT_LT(a, b);  // name order regardless of registration order
+  EXPECT_LT(b, g);
+}
+
+TEST_F(ObsExportersTest, JsonlExcludesRuntimeMetricsByDefault) {
+  Registry::global().counter("t.exp.sim").add();
+  Registry::global().counter("t.exp.rt", MetricClass::kRuntime).add();
+  const std::string deterministic = metrics_jsonl(false);
+  EXPECT_NE(deterministic.find("t.exp.sim"), std::string::npos);
+  EXPECT_EQ(deterministic.find("t.exp.rt"), std::string::npos);
+  const std::string full = metrics_jsonl(true);
+  EXPECT_NE(full.find("t.exp.rt"), std::string::npos);
+}
+
+TEST_F(ObsExportersTest, JsonlHistogramHasSparseBucketsAndQuantiles) {
+  auto h = Registry::global().histogram("t.exp.h", HistogramSpec{1.0, 2.0, 8});
+  for (int i = 0; i < 100; ++i) h.record(1.0 + i * 0.1);
+  const std::string out = metrics_jsonl();
+  EXPECT_NE(out.find("\"buckets\":[["), std::string::npos);
+  EXPECT_NE(out.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(out.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(out.find("\"count\":100"), std::string::npos);
+}
+
+TEST_F(ObsExportersTest, PrometheusTextSanitisesNamesAndSumsBuckets) {
+  auto h = Registry::global().histogram("t.exp.lat-s", HistogramSpec{1.0, 2.0, 4});
+  h.record(1.5);
+  h.record(3.0);
+  h.record(100.0);  // overflow bucket
+  Registry::global().counter("t.exp.events").add(7);
+  const std::string out = prometheus_text();
+  // Dots/dashes become underscores, everything gets the milback_ prefix.
+  EXPECT_NE(out.find("milback_t_exp_lat_s_bucket"), std::string::npos);
+  EXPECT_NE(out.find("milback_t_exp_events 7"), std::string::npos);
+  // The +Inf bucket must equal the total count (cumulative semantics).
+  EXPECT_NE(out.find("le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(out.find("milback_t_exp_lat_s_count 3"), std::string::npos);
+}
+
+TEST_F(ObsExportersTest, ChromeTraceIsValidJsonWithCompleteEvents) {
+  const auto id = Registry::global().trace_name("t.exp.span");
+  for (int i = 0; i < 3; ++i) {
+    Span s(id, 0.001 * i, trace_lane(kLaneCell, 0));
+    s.end(0.001 * i + 0.0005);
+  }
+  const std::string out = chrome_trace_json();
+  EXPECT_TRUE(is_valid_json(out)) << out;
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(out, "\"ph\":\"X\""), 3);
+  // Lane metadata names the cell track.
+  EXPECT_NE(out.find("process_name"), std::string::npos);
+}
+
+TEST_F(ObsExportersTest, ChromeTraceWithNoSpansIsStillValidJson) {
+  const std::string out = chrome_trace_json();
+  EXPECT_TRUE(is_valid_json(out)) << out;
+}
+
+TEST_F(ObsExportersTest, ExportsAreByteStableAcrossCalls) {
+  Registry::global().counter("t.exp.stable").add(3);
+  auto h = Registry::global().histogram("t.exp.stable_h");
+  h.record(0.25);
+  const auto id = Registry::global().trace_name("t.exp.stable_span");
+  Span s(id, 0.0);
+  s.end(1.0);
+  EXPECT_EQ(metrics_jsonl(), metrics_jsonl());
+  EXPECT_EQ(prometheus_text(), prometheus_text());
+  EXPECT_EQ(chrome_trace_json(), chrome_trace_json());
+}
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(ObsExportersTest, WriteEnvExportsDropsFilesIntoTheNamedDirs) {
+  namespace fs = std::filesystem;
+  const fs::path base =
+      fs::temp_directory_path() / "milback_obs_export_test";
+  fs::remove_all(base);
+  const ScopedEnv metrics_dir("MILBACK_METRICS_DIR", (base / "m").string());
+  const ScopedEnv trace_dir("MILBACK_TRACE_DIR", (base / "t").string());
+
+  Registry::global().counter("t.exp.filed").add(11);
+  const auto id = Registry::global().trace_name("t.exp.filed_span");
+  Span s(id, 0.0);
+  s.end(0.5);
+
+  write_env_exports();
+
+  EXPECT_EQ(slurp(base / "m" / "metrics.jsonl"), metrics_jsonl(true));
+  EXPECT_EQ(slurp(base / "m" / "metrics.prom"), prometheus_text(true));
+  const std::string trace = slurp(base / "t" / "trace.json");
+  EXPECT_EQ(trace, chrome_trace_json());
+  EXPECT_TRUE(is_valid_json(trace));
+  fs::remove_all(base);
+}
+
+}  // namespace
+}  // namespace milback::obs

@@ -1,0 +1,144 @@
+// Log-bucketed histogram properties: exact bucket-edge mapping, merge
+// exactness / associativity / commutativity (the property the per-thread
+// sinks rely on for thread-count invariance), and quantile sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "milback/obs/registry.hpp"
+#include "milback/util/rng.hpp"
+
+namespace milback::obs {
+namespace {
+
+HistogramSnapshot record_all(const HistogramSpec& spec,
+                             const std::vector<double>& xs) {
+  HistogramSnapshot h;
+  h.spec = spec;
+  for (const double x : xs) h.record(x);
+  return h;
+}
+
+void expect_identical(const HistogramSnapshot& a, const HistogramSnapshot& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.min, b.min);  // bit-exact, not approximate
+  EXPECT_EQ(a.max, b.max);
+  ASSERT_EQ(a.counts.size(), b.counts.size());
+  for (std::size_t i = 0; i < a.counts.size(); ++i) {
+    EXPECT_EQ(a.counts[i], b.counts[i]) << "slot " << i;
+  }
+}
+
+TEST(ObsHistogram, BucketEdgesMapExactly) {
+  const HistogramSpec spec{1e-3, 2.0, 20};
+  // Every finite slot's lower edge lands in that slot; a value just below
+  // lands in the previous one.
+  for (std::size_t slot = 1; slot <= spec.buckets; ++slot) {
+    const double lo = bucket_lower_edge(spec, slot);
+    EXPECT_EQ(bucket_index(spec, lo), slot) << "slot " << slot;
+    EXPECT_EQ(bucket_index(spec, std::nextafter(lo, 0.0)), slot - 1)
+        << "slot " << slot;
+  }
+}
+
+TEST(ObsHistogram, UnderflowAndOverflowSlots) {
+  const HistogramSpec spec{1.0, 2.0, 4};  // finite range [1, 16)
+  EXPECT_EQ(bucket_index(spec, 0.0), 0u);
+  EXPECT_EQ(bucket_index(spec, -5.0), 0u);
+  EXPECT_EQ(bucket_index(spec, 0.999), 0u);
+  EXPECT_EQ(bucket_index(spec, 15.999), spec.buckets);
+  EXPECT_EQ(bucket_index(spec, 16.0), spec.buckets + 1);
+  EXPECT_EQ(bucket_index(spec, 1e12), spec.buckets + 1);
+}
+
+TEST(ObsHistogram, MergeEqualsSingleSnapshotRecording) {
+  // Property: recording a sample set in one snapshot is bit-identical to
+  // recording disjoint chunks separately and merging — for any split. This
+  // is exactly what the per-thread sinks do.
+  const HistogramSpec spec{1e-6, 1.7, 40};
+  Rng rng(421);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(0.0, 10.0));
+
+  const auto whole = record_all(spec, xs);
+  for (const std::size_t split : {1u, 100u, 250u, 499u}) {
+    const auto a = record_all(
+        spec, std::vector<double>(xs.begin(), xs.begin() + long(split)));
+    const auto b = record_all(
+        spec, std::vector<double>(xs.begin() + long(split), xs.end()));
+    expect_identical(whole, merge(a, b));
+    expect_identical(whole, merge(b, a));  // commutative
+  }
+}
+
+TEST(ObsHistogram, MergeIsAssociative) {
+  const HistogramSpec spec{1e-3, 2.0, 32};
+  Rng rng(77);
+  std::vector<HistogramSnapshot> parts;
+  for (int p = 0; p < 5; ++p) {
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform(1e-4, 50.0));
+    parts.push_back(record_all(spec, xs));
+  }
+  // Left fold vs right fold vs a mixed tree — all bit-identical.
+  HistogramSnapshot left = parts[0];
+  for (std::size_t i = 1; i < parts.size(); ++i) left = merge(left, parts[i]);
+  HistogramSnapshot right = parts.back();
+  for (std::size_t i = parts.size() - 1; i-- > 0;) right = merge(parts[i], right);
+  const auto tree =
+      merge(merge(parts[0], parts[1]), merge(parts[2], merge(parts[3], parts[4])));
+  expect_identical(left, right);
+  expect_identical(left, tree);
+}
+
+TEST(ObsHistogram, MergeWithEmptyIsIdentity) {
+  const HistogramSpec spec{1.0, 2.0, 8};
+  const auto h = record_all(spec, {1.5, 3.0, 7.0});
+  HistogramSnapshot empty;
+  empty.spec = spec;
+  expect_identical(h, merge(h, empty));
+  expect_identical(h, merge(empty, h));
+}
+
+TEST(ObsHistogram, QuantileIsMonotoneAndBounded) {
+  const HistogramSpec spec{1e-3, 1.5, 48};
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(std::exp(rng.uniform(-3.0, 3.0)));
+  const auto h = record_all(spec, xs);
+  double prev = quantile(h, 0.0);
+  EXPECT_GE(prev, h.min);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double q = quantile(h, p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    EXPECT_LE(q, h.max) << "p=" << p;
+    prev = q;
+  }
+}
+
+TEST(ObsHistogram, QuantileBucketResolutionBound) {
+  // The p50 estimate of a log-bucketed histogram is off by at most one
+  // bucket's growth factor from the exact median.
+  const HistogramSpec spec{1e-3, 1.3, 64};
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 2001; ++i) xs.push_back(rng.uniform(0.1, 10.0));
+  const auto h = record_all(spec, xs);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const double exact = sorted[sorted.size() / 2];
+  const double est = quantile(h, 50.0);
+  EXPECT_GT(est, exact / spec.growth);
+  EXPECT_LT(est, exact * spec.growth);
+}
+
+TEST(ObsHistogram, EmptyQuantileIsZero) {
+  HistogramSnapshot h;
+  h.spec = HistogramSpec{1.0, 2.0, 8};
+  EXPECT_EQ(quantile(h, 50.0), 0.0);
+}
+
+}  // namespace
+}  // namespace milback::obs

@@ -1,0 +1,133 @@
+// Registry basics: handle identity, accumulation, the null-sink fast path,
+// reset semantics and canonical snapshot ordering.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "milback/obs/registry.hpp"
+
+namespace milback::obs {
+namespace {
+
+class ObsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true, true);
+    Registry::global().reset();
+  }
+  void TearDown() override {
+    Registry::global().reset();
+    set_enabled(false, false);
+  }
+};
+
+TEST_F(ObsRegistryTest, CounterAccumulates) {
+  auto c = Registry::global().counter("t.reg.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(Registry::global().counter_value("t.reg.counter"), 42u);
+}
+
+TEST_F(ObsRegistryTest, ReRegisteringReturnsTheSameMetric) {
+  auto a = Registry::global().counter("t.reg.same");
+  auto b = Registry::global().counter("t.reg.same");
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(Registry::global().counter_value("t.reg.same"), 5u);
+}
+
+TEST_F(ObsRegistryTest, KindMismatchOnReRegistrationIsAContractViolation) {
+  Registry::global().counter("t.reg.kind");
+  EXPECT_THROW(Registry::global().gauge("t.reg.kind"), std::invalid_argument);
+}
+
+TEST_F(ObsRegistryTest, HistogramSpecMismatchIsAContractViolation) {
+  Registry::global().histogram("t.reg.spec", HistogramSpec{1.0, 2.0, 8});
+  EXPECT_THROW(
+      Registry::global().histogram("t.reg.spec", HistogramSpec{1.0, 4.0, 8}),
+      std::invalid_argument);
+}
+
+TEST_F(ObsRegistryTest, GaugeKeepsLastWrite) {
+  auto g = Registry::global().gauge("t.reg.gauge");
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_EQ(Registry::global().gauge_value("t.reg.gauge"), -3.25);
+}
+
+TEST_F(ObsRegistryTest, HistogramRecordsThroughTheSink) {
+  auto h = Registry::global().histogram("t.reg.hist", HistogramSpec{1.0, 2.0, 8});
+  h.record(1.5);
+  h.record(3.0);
+  h.record(100.0);
+  const auto snap = Registry::global().histogram_snapshot("t.reg.hist");
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.min, 1.5);
+  EXPECT_EQ(snap.max, 100.0);
+}
+
+TEST_F(ObsRegistryTest, NullSinkRecordsNothingWhenDisabled) {
+  auto c = Registry::global().counter("t.reg.nullsink");
+  auto h = Registry::global().histogram("t.reg.nullsink_h");
+  auto g = Registry::global().gauge("t.reg.nullsink_g");
+  set_enabled(false, false);
+  c.add(7);
+  h.record(1.0);
+  g.set(9.0);
+  set_enabled(true, true);
+  EXPECT_EQ(Registry::global().counter_value("t.reg.nullsink"), 0u);
+  EXPECT_EQ(Registry::global().histogram_snapshot("t.reg.nullsink_h").count, 0u);
+  EXPECT_EQ(Registry::global().gauge_value("t.reg.nullsink_g"), 0.0);
+}
+
+TEST_F(ObsRegistryTest, InertHandlesAreSafeNoOps) {
+  // Registration persists across reset() (handles stay valid), so in a
+  // whole-binary run other suites' metrics may already exist — compare
+  // against the count before, not against zero.
+  const auto before = Registry::global().metric_snapshots().size();
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.valid());
+  c.add(5);  // must not crash or record
+  g.set(1.0);
+  h.record(2.0);
+  EXPECT_EQ(Registry::global().metric_snapshots().size(), before);
+}
+
+TEST_F(ObsRegistryTest, ResetZeroesValuesButKeepsHandlesAlive) {
+  auto c = Registry::global().counter("t.reg.reset");
+  c.add(10);
+  Registry::global().reset();
+  EXPECT_EQ(Registry::global().counter_value("t.reg.reset"), 0u);
+  c.add(3);  // the pre-reset handle still records into the same metric
+  EXPECT_EQ(Registry::global().counter_value("t.reg.reset"), 3u);
+}
+
+TEST_F(ObsRegistryTest, SnapshotsAreSortedByName) {
+  Registry::global().counter("t.reg.zzz").add();
+  Registry::global().counter("t.reg.aaa").add();
+  Registry::global().counter("t.reg.mmm").add();
+  const auto snaps = Registry::global().metric_snapshots();
+  ASSERT_GE(snaps.size(), 3u);
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_LT(snaps[i - 1].name, snaps[i].name);
+  }
+}
+
+TEST_F(ObsRegistryTest, MetricClassIsPreserved) {
+  Registry::global().counter("t.reg.rt", MetricClass::kRuntime).add();
+  const auto snaps = Registry::global().metric_snapshots();
+  bool found = false;
+  for (const auto& s : snaps) {
+    if (s.name == "t.reg.rt") {
+      found = true;
+      EXPECT_EQ(s.cls, MetricClass::kRuntime);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace milback::obs

@@ -1,0 +1,114 @@
+// Trace spans: emission, nesting, forgotten-end markers, move semantics and
+// the deterministic sort order of trace_snapshots.
+#include <gtest/gtest.h>
+
+#include "milback/obs/registry.hpp"
+#include "milback/obs/span.hpp"
+
+namespace milback::obs {
+namespace {
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true, true);
+    Registry::global().reset();
+  }
+  void TearDown() override {
+    Registry::global().reset();
+    set_enabled(false, false);
+  }
+};
+
+TEST_F(ObsTraceTest, SpanRecordsItsInterval) {
+  const auto id = Registry::global().trace_name("t.trace.basic");
+  {
+    Span s(id, 1.5, trace_lane(7, 3));
+    s.end(2.25);
+  }
+  const auto spans = Registry::global().trace_snapshots();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "t.trace.basic");
+  EXPECT_EQ(spans[0].t_begin, 1.5);
+  EXPECT_EQ(spans[0].t_end, 2.25);
+  EXPECT_EQ(spans[0].lane, trace_lane(7, 3));
+}
+
+TEST_F(ObsTraceTest, EndIsIdempotent) {
+  const auto id = Registry::global().trace_name("t.trace.once");
+  Span s(id, 0.0);
+  s.end(1.0);
+  s.end(2.0);  // ignored
+  EXPECT_EQ(Registry::global().trace_record_count(), 1u);
+  const auto spans = Registry::global().trace_snapshots();
+  EXPECT_EQ(spans[0].t_end, 1.0);
+}
+
+TEST_F(ObsTraceTest, NestedSpansBothRecordAndSortByStart) {
+  const auto outer_id = Registry::global().trace_name("t.trace.outer");
+  const auto inner_id = Registry::global().trace_name("t.trace.inner");
+  {
+    Span outer(outer_id, 0.0);
+    {
+      Span inner(inner_id, 2.0);
+      inner.end(5.0);
+    }
+    outer.end(10.0);
+  }
+  const auto spans = Registry::global().trace_snapshots();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "t.trace.outer");  // t_begin 0 sorts first
+  EXPECT_EQ(spans[1].name, "t.trace.inner");
+  // Proper nesting: inner fully inside outer.
+  EXPECT_GE(spans[1].t_begin, spans[0].t_begin);
+  EXPECT_LE(spans[1].t_end, spans[0].t_end);
+}
+
+TEST_F(ObsTraceTest, ForgottenEndEmitsZeroLengthMarker) {
+  const auto id = Registry::global().trace_name("t.trace.forgot");
+  { Span s(id, 4.0); }  // destructor, no end()
+  const auto spans = Registry::global().trace_snapshots();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].t_begin, 4.0);
+  EXPECT_EQ(spans[0].t_end, 4.0);
+}
+
+TEST_F(ObsTraceTest, MovedFromSpanIsInertAndEmitsOnce) {
+  const auto id = Registry::global().trace_name("t.trace.move");
+  {
+    Span a(id, 1.0);
+    Span b = std::move(a);
+    EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): testing it
+    EXPECT_TRUE(b.active());
+    b.end(3.0);
+  }
+  EXPECT_EQ(Registry::global().trace_record_count(), 1u);
+}
+
+TEST_F(ObsTraceTest, DisabledTracingRecordsNothing) {
+  const auto id = Registry::global().trace_name("t.trace.off");
+  set_enabled(true, false);  // metrics on, tracing off
+  {
+    Span s(id, 0.0);
+    s.end(1.0);
+  }
+  set_enabled(true, true);
+  EXPECT_EQ(Registry::global().trace_record_count(), 0u);
+}
+
+TEST_F(ObsTraceTest, TieBreakIsByFullRecord) {
+  const auto a_id = Registry::global().trace_name("t.trace.tie_b");
+  const auto b_id = Registry::global().trace_name("t.trace.tie_a");
+  // Identical intervals; order of emission must not matter to the output.
+  Span s1(a_id, 1.0, 2);
+  s1.end(2.0);
+  Span s2(b_id, 1.0, 1);
+  s2.end(2.0);
+  const auto spans = Registry::global().trace_snapshots();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].lane, 1u);  // lane before name in the sort key
+  EXPECT_EQ(spans[1].lane, 2u);
+}
+
+}  // namespace
+}  // namespace milback::obs

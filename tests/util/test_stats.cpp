@@ -51,6 +51,29 @@ TEST(Stats, PercentileUnsortedInput) {
   EXPECT_DOUBLE_EQ(median(xs), 30.0);
 }
 
+TEST(Stats, PercentilesMatchesSingleCalls) {
+  std::vector<double> xs{50.0, 10.0, 40.0, 20.0, 30.0};
+  const auto ps = percentiles(xs, {0.0, 25.0, 50.0, 90.0, 100.0});
+  ASSERT_EQ(ps.size(), 5u);
+  EXPECT_DOUBLE_EQ(ps[0], percentile(xs, 0.0));
+  EXPECT_DOUBLE_EQ(ps[1], percentile(xs, 25.0));
+  EXPECT_DOUBLE_EQ(ps[2], percentile(xs, 50.0));
+  EXPECT_DOUBLE_EQ(ps[3], percentile(xs, 90.0));
+  EXPECT_DOUBLE_EQ(ps[4], percentile(xs, 100.0));
+}
+
+TEST(Stats, PercentilesHandlesUnorderedProbesAndEmptyInput) {
+  std::vector<double> xs{10.0, 20.0, 30.0};
+  // Probe order is preserved in the output, not sorted.
+  const auto ps = percentiles(xs, {95.0, 5.0});
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_GT(ps[0], ps[1]);
+  const auto empty = percentiles(std::vector<double>{}, {50.0, 95.0});
+  ASSERT_EQ(empty.size(), 2u);
+  EXPECT_DOUBLE_EQ(empty[0], 0.0);
+  EXPECT_DOUBLE_EQ(empty[1], 0.0);
+}
+
 TEST(Stats, EmpiricalCdfMonotone) {
   std::vector<double> xs{3.0, 1.0, 2.0};
   const auto cdf = empirical_cdf(xs);
