@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   for (const std::size_t n_nodes : {1u, 2u, 4u, 6u, 8u, 12u}) {
     // Stateless streams: the room really is identical for every population
     // size, and placement/round draws depend only on (seed, n_nodes).
+    // milback-analyze: no-rng(the environment is intentionally identical across population sizes; placement/round streams below key on n_nodes)
     auto env_rng = Rng::stream(seed, std::uint64_t{1});
     core::MilBackNetwork net(channel::BackscatterChannel::make_default(
                                  channel::Environment::indoor_office(env_rng)),

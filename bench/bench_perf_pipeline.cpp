@@ -262,6 +262,7 @@ void BM_Obs_CounterHistSpan_Disabled(benchmark::State& state) {
     h.record(t);
     obs::Span s(span_id, t);
     s.end(t + 1e-6);
+    // milback-analyze: no-reduction(single-thread benchmark clock ramp in fixed iteration order; not an aggregated statistic)
     t += 1e-6;
   }
   benchmark::DoNotOptimize(t);
@@ -277,6 +278,7 @@ void BM_Obs_CounterHist_Enabled(benchmark::State& state) {
   for (auto _ : state) {
     c.add();
     h.record(t);
+    // milback-analyze: no-reduction(single-thread benchmark clock ramp in fixed iteration order; not an aggregated statistic)
     t += 1e-6;
   }
   benchmark::DoNotOptimize(t);

@@ -184,7 +184,34 @@ def lint_file(root: Path, path: Path, errors: list[str]) -> None:
                     )
 
 
+RULES = (
+    ("R1", "raw std RNG engine/distribution outside util/rng -- use milback::Rng"),
+    ("R2", "`using namespace` in a header"),
+    ("R3", "double member that looks like a physical quantity without a unit suffix"),
+    ("R4", "header hygiene: `#pragma once` first, no parent-relative #include"),
+    ("R5", "raw std::thread/std::async outside src/milback/sim/"),
+    ("R6", "fork() with a computed label in bench -- use Rng::stream(seed, point, trial)"),
+    ("R7", "cos/sin phasor pair outside src/milback/dsp/ -- use dsp::PhasorOscillator"),
+    ("R8", "ad-hoc round time loop outside the cell engine"),
+    ("R9", "std::chrono outside src/milback/obs/ -- sim timestamps must be sim time"),
+)
+
+
+def list_rules() -> None:
+    print("physics_lint textual rules (fast, line-oriented gate):")
+    for rule, desc in RULES:
+        print(f"  {rule}  {desc}")
+    print()
+    print("The AST-grounded semantic checks (A1-A5: contract coverage,")
+    print("unordered-iteration order, RNG discipline, clock/thread aliases,")
+    print("float reductions) live in scripts/milback_analyze.py; run")
+    print("`milback_analyze.py --list-checks` for that table.")
+
+
 def main() -> int:
+    if "--list-rules" in sys.argv[1:]:
+        list_rules()
+        return 0
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
     errors: list[str] = []
     n_files = 0

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::antenna {
 
 double uniform_array_factor(double psi, std::size_t n) noexcept {
+  require_finite(psi, "psi");
   if (n == 0) return 0.0;
   if (n == 1) return 1.0;
   const double half = psi / 2.0;
@@ -22,6 +24,8 @@ double array_directivity_db(std::size_t n) noexcept {
 }
 
 double element_pattern_db(double theta_deg, double q) noexcept {
+  require_finite(theta_deg, "theta_deg");
+  require_positive(q, "q");
   const double theta = std::abs(theta_deg);
   if (theta >= 89.0) return -40.0;
   const double c = std::cos(deg2rad(theta));
@@ -29,6 +33,7 @@ double element_pattern_db(double theta_deg, double q) noexcept {
 }
 
 double beamwidth_deg(std::size_t n, double d_over_lambda, double theta_deg) noexcept {
+  require_finite(theta_deg, "theta_deg");
   if (n == 0 || d_over_lambda <= 0.0) return 180.0;
   const double broadside = 0.886 / (double(n) * d_over_lambda);  // radians
   const double cos_scan = std::max(std::cos(deg2rad(theta_deg)), 0.2);

@@ -26,6 +26,7 @@ DualPortFsa::DualPortFsa(const FsaConfig& config) : config_(config) {
 }
 
 std::optional<double> DualPortFsa::beam_angle_deg(FsaPort port, double f_hz) const noexcept {
+  require_finite(f_hz, "f_hz");
   if (f_hz <= 0.0) return std::nullopt;
   const double fc = config_.center_frequency_hz;
   const double m = double(config_.mode_number);
@@ -38,6 +39,7 @@ std::optional<double> DualPortFsa::beam_angle_deg(FsaPort port, double f_hz) con
 
 std::optional<double> DualPortFsa::beam_frequency_hz(FsaPort port,
                                                      double theta_deg) const noexcept {
+  require_finite(theta_deg, "theta_deg");
   const double fc = config_.center_frequency_hz;
   const double m = double(config_.mode_number);
   const double s =
@@ -63,6 +65,8 @@ double DualPortFsa::psi(FsaPort port, double f_hz, double theta_deg) const noexc
 }
 
 double DualPortFsa::gain_dbi(FsaPort port, double f_hz, double theta_deg) const noexcept {
+  require_finite(f_hz, "f_hz");
+  require_finite(theta_deg, "theta_deg");
   const double af = uniform_array_factor(psi(port, f_hz, theta_deg), config_.n_elements);
   const double peak_db = array_directivity_db(config_.n_elements) +
                          config_.element_gain_dbi + config_.efficiency_db;
@@ -84,6 +88,7 @@ double DualPortFsa::peak_gain_dbi() const noexcept {
 }
 
 double DualPortFsa::beamwidth_deg(double f_hz) const noexcept {
+  require_finite(f_hz, "f_hz");
   const double theta = beam_angle_deg(FsaPort::kA, f_hz).value_or(0.0);
   const double d_over_lambda = spacing_m_ / wavelength(f_hz);
   return antenna::beamwidth_deg(config_.n_elements, d_over_lambda, theta);
@@ -91,6 +96,7 @@ double DualPortFsa::beamwidth_deg(double f_hz) const noexcept {
 
 std::optional<std::pair<double, double>> DualPortFsa::carrier_pair_for_angle(
     double theta_deg) const noexcept {
+  require_finite(theta_deg, "theta_deg");
   const auto fa = beam_frequency_hz(FsaPort::kA, theta_deg);
   const auto fb = beam_frequency_hz(FsaPort::kB, theta_deg);
   if (!fa || !fb) return std::nullopt;
@@ -98,6 +104,8 @@ std::optional<std::pair<double, double>> DualPortFsa::carrier_pair_for_angle(
 }
 
 bool DualPortFsa::normal_incidence(double theta_deg, double min_separation_hz) const noexcept {
+  require_finite(theta_deg, "theta_deg");
+  require_non_negative(min_separation_hz, "min_separation_hz");
   const auto pair = carrier_pair_for_angle(theta_deg);
   if (!pair) return false;
   return std::abs(pair->first - pair->second) < min_separation_hz;

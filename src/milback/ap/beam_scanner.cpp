@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "milback/channel/link_budget.hpp"
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::ap {
@@ -22,6 +23,9 @@ std::size_t BeamScanner::grid_size() const noexcept {
 double BeamScanner::steered_snr_db(const channel::BackscatterChannel& channel,
                                    const channel::NodePose& pose,
                                    double steering_deg) const {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  require_finite(pose.orientation_deg, "pose.orientation_deg");
   rf::RfSwitch sw{config_.localizer.node_switch};
   const auto budget = channel::compute_radar_budget(
       channel, pose, sw, config_.localizer.chirp.duration_s,
@@ -39,6 +43,7 @@ double BeamScanner::steered_snr_db(const channel::BackscatterChannel& channel,
 std::vector<ScanDetection> BeamScanner::scan(const channel::BackscatterChannel& channel,
                                              const std::vector<channel::NodePose>& nodes,
                                              milback::Rng& rng) const {
+  require_positive(config_.step_deg, "step_deg");
   struct GridHit {
     double steering = 0.0;
     double snr_db = -1e9;

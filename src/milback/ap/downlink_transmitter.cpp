@@ -50,6 +50,8 @@ DownlinkWaveforms DownlinkTransmitter::synthesize(
     const channel::BackscatterChannel& channel, const channel::NodePose& pose,
     const CarrierSelection& selection,
     const std::vector<core::OaqfmSymbol>& symbols) const {
+  require_positive(selection.f_a_hz, "selection.f_a_hz");
+  require_positive(selection.f_b_hz, "selection.f_b_hz");
   DownlinkWaveforms w;
   w.fs = config_.symbol_rate_hz * double(config_.oversample);
   const std::size_t n = symbols.size() * config_.oversample;
@@ -79,6 +81,8 @@ DownlinkWaveforms DownlinkTransmitter::synthesize(
 DownlinkWaveforms DownlinkTransmitter::synthesize_ook(
     const channel::BackscatterChannel& channel, const channel::NodePose& pose,
     const CarrierSelection& selection, const std::vector<bool>& bits) const {
+  require_positive(selection.f_a_hz, "selection.f_a_hz");
+  require_positive(selection.f_b_hz, "selection.f_b_hz");
   DownlinkWaveforms w;
   w.fs = config_.symbol_rate_hz * double(config_.oversample);
   const std::size_t n = bits.size() * config_.oversample;
@@ -102,6 +106,8 @@ DownlinkWaveforms DownlinkTransmitter::synthesize_dense(
     const channel::BackscatterChannel& channel, const channel::NodePose& pose,
     const CarrierSelection& selection, const std::vector<core::DenseSymbol>& symbols,
     unsigned levels) const {
+  require_positive(selection.f_a_hz, "selection.f_a_hz");
+  require_positive(selection.f_b_hz, "selection.f_b_hz");
   DownlinkWaveforms w;
   w.fs = config_.symbol_rate_hz * double(config_.oversample);
   const std::size_t n = symbols.size() * config_.oversample;

@@ -83,6 +83,9 @@ Localizer::BurstPair Localizer::synthesize_burst(
     const BackscatterChannel& channel, const NodePose& pose,
     const std::vector<rf::SwitchState>& port_a_states, double true_slope_scale,
     double steered_azimuth_deg, milback::Rng& rng) const {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  require_finite(pose.orientation_deg, "pose.orientation_deg");
   const double fs = config_.beat_sample_rate_hz;
   // The synthesis chirp carries the (slightly wrong) true slope; the
   // estimator later assumes the nominal slope -> distance-proportional bias.

@@ -1,5 +1,6 @@
 #include "milback/ap/orientation_sensor.hpp"
 
+#include "milback/core/contract.hpp"
 #include "milback/radar/spectrum_profile.hpp"
 
 namespace milback::ap {
@@ -14,6 +15,9 @@ ApOrientationSensor::ApOrientationSensor(const OrientationSensorConfig& config)
 ApOrientationResult ApOrientationSensor::estimate(
     const channel::BackscatterChannel& channel, const channel::NodePose& pose,
     milback::Rng& rng) const {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  require_finite(pose.orientation_deg, "pose.orientation_deg");
   ApOrientationResult result;
 
   const auto& lc = localizer_.config();

@@ -1,6 +1,7 @@
 #include "milback/baselines/millimetro.hpp"
 
 #include "milback/channel/propagation.hpp"
+#include "milback/core/contract.hpp"
 #include "milback/rf/noise.hpp"
 #include "milback/util/units.hpp"
 
@@ -21,6 +22,7 @@ std::optional<double> Millimetro::uplink_snr_db(double, double) const {
 }
 
 double Millimetro::localization_snr_db(double distance_m) const {
+  require_positive(distance_m, "distance_m");
   const double retro = antenna_.retro_gain_db(0.0);
   const double fspl = channel::fspl_db(distance_m, config_.carrier_hz);
   const double rx_dbm = config_.radar_tx_power_dbm + 2.0 * config_.radar_gain_dbi +

@@ -1,6 +1,7 @@
 #include "milback/baselines/mmtag.hpp"
 
 #include "milback/channel/propagation.hpp"
+#include "milback/core/contract.hpp"
 #include "milback/rf/noise.hpp"
 #include "milback/util/units.hpp"
 
@@ -19,6 +20,8 @@ Capabilities MmTag::capabilities() const {
 
 std::optional<double> MmTag::uplink_snr_db(double distance_m,
                                            double bit_rate_bps) const {
+  require_positive(distance_m, "distance_m");
+  require_positive(bit_rate_bps, "bit_rate_bps");
   const double retro = antenna_.retro_gain_db(0.0) - config_.modulation_loss_db;
   const double fspl = channel::fspl_db(distance_m, config_.carrier_hz);
   const double rx_dbm = config_.ap_tx_power_dbm + 2.0 * config_.ap_antenna_gain_dbi +

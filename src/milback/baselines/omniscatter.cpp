@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "milback/channel/propagation.hpp"
+#include "milback/core/contract.hpp"
 #include "milback/rf/noise.hpp"
 #include "milback/util/units.hpp"
 
@@ -20,6 +21,8 @@ Capabilities OmniScatter::capabilities() const {
 
 std::optional<double> OmniScatter::uplink_snr_db(double distance_m,
                                                  double bit_rate_bps) const {
+  require_positive(distance_m, "distance_m");
+  require_non_negative(bit_rate_bps, "bit_rate_bps");
   const double fspl = channel::fspl_db(distance_m, config_.carrier_hz);
   const double rx_dbm = config_.radar_tx_power_dbm + 2.0 * config_.radar_gain_dbi +
                         2.0 * config_.tag_antenna_gain_dbi - 2.0 * fspl -

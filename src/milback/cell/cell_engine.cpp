@@ -259,6 +259,7 @@ void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
           core::LinkDirection::kUplink, n.rate_bps / 2.0);
       slot_time_s = std::max(slot_time_s, timing.total_s);
     }
+    // milback-analyze: no-reduction(serial event-handler loop in deterministic slot-major order; single thread by construction)
     derived_period_s += slot_time_s;
   }
   const double period_s =
@@ -284,6 +285,7 @@ void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
   last_period_s_ = period_s;
   double capacity_bps = 0.0;
   for (const auto i : alive) {
+    // milback-analyze: no-reduction(serial event-handler loop in deterministic slot-major order; single thread by construction)
     if (nodes_[i].rate_bps > 0.0) capacity_bps += payload_bits_ / period_s;
   }
   report.cell_capacity_bps = capacity_bps;
@@ -297,12 +299,16 @@ void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
       if (n.rate_bps <= 0.0) continue;
       n.rounds_served += 1;
       double budget = payload_bits_;
+      // milback-analyze: no-reduction(serial FIFO drain in deterministic queue order; single thread by construction)
       while (budget > 0.0 && !n.queue.empty()) {
         auto& chunk = n.queue.front();
         const double take = std::min(chunk.bits, budget);
         chunk.bits -= take;
+        // milback-analyze: no-reduction(serial FIFO drain in deterministic queue order; single thread by construction)
         budget -= take;
+        // milback-analyze: no-reduction(serial FIFO drain in deterministic queue order; single thread by construction)
         n.queued_bits -= take;
+        // milback-analyze: no-reduction(serial FIFO drain in deterministic queue order; single thread by construction)
         n.delivered_bits += take;
         drained[k] += take;
         if (chunk.bits <= 1e-9) {
@@ -393,6 +399,7 @@ CellReport CellEngine::run(double duration_s, std::uint64_t seed) {
             core::LinkDirection::kUplink, n.rate_bps / 2.0);
         slot_time_s = std::max(slot_time_s, timing.total_s);
       }
+  // milback-analyze: no-reduction(serial event-handler loop in deterministic slot-major order; single thread by construction)
       hint_s += slot_time_s;
     }
   }
@@ -479,6 +486,7 @@ CellReport CellEngine::run(double duration_s, std::uint64_t seed) {
                             2.0 * payload_bits_) {
       report.stable = false;
     }
+    // milback-analyze: no-reduction(serial event-handler loop in deterministic slot-major order; single thread by construction)
     report.aggregate_goodput_bps += n.delivered_bits / duration_s;
     report.nodes.push_back(std::move(r));
   }
@@ -517,9 +525,12 @@ core::RoundResult CellEngine::run_uplink_round(std::size_t bits_per_node,
   const double slot_share = slots.empty() ? 1.0 : double(slots.size());
   for (auto& nr : results) {
     nr.goodput_bps /= slot_share;
+    // milback-analyze: no-reduction(round results aggregated in fixed node-index order on the calling thread)
     round.aggregate_goodput_bps += nr.goodput_bps;
     round.nodes.push_back(std::move(nr));
   }
+  MILBACK_ENSURE(round.nodes.size() == services.size(),
+                 "run_uplink_round: one result per service");
   return round;
 }
 
@@ -552,9 +563,12 @@ core::DownlinkRoundResult CellEngine::run_downlink_round(
   const double slot_share = slots.empty() ? 1.0 : double(slots.size());
   for (auto& nr : results) {
     nr.goodput_bps /= slot_share;
+    // milback-analyze: no-reduction(round results aggregated in fixed node-index order on the calling thread)
     round.aggregate_goodput_bps += nr.goodput_bps;
     round.nodes.push_back(std::move(nr));
   }
+  MILBACK_ENSURE(round.nodes.size() == services.size(),
+                 "run_downlink_round: one result per service");
   return round;
 }
 

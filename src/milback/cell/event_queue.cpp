@@ -6,6 +6,7 @@
 
 namespace milback::cell {
 
+// milback-analyze: no-contract(total over the EventKind enum; unknown values render as "?")
 const char* event_kind_name(EventKind kind) noexcept {
   switch (kind) {
     case EventKind::kJoin: return "join";

@@ -32,6 +32,7 @@ std::vector<std::vector<std::size_t>> sdm_partition(
   return slots;
 }
 
+// milback-analyze: no-contract(total flattening; one service per (slot, member) pair by construction)
 std::vector<SdmService> flatten_services(
     const std::vector<std::vector<std::size_t>>& slots) {
   std::vector<SdmService> services;
@@ -44,6 +45,8 @@ std::vector<SdmService> flatten_services(
 double inter_node_isolation_db(const channel::BackscatterChannel& channel,
                                const channel::NodePose& a,
                                const channel::NodePose& b) {
+  require_finite(a.azimuth_deg, "a.azimuth_deg");
+  require_finite(b.azimuth_deg, "b.azimuth_deg");
   const double offset = std::abs(a.azimuth_deg - b.azimuth_deg);
   const auto& tx = channel.ap_tx_antenna();
   const auto& rx = channel.ap_rx_antenna();
@@ -57,6 +60,9 @@ double inter_node_isolation_db(const channel::BackscatterChannel& channel,
 double probe_service_rate_bps(const channel::BackscatterChannel& channel,
                               const channel::NodePose& pose,
                               const core::RateAdaptConfig& rate) {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  require_finite(pose.orientation_deg, "pose.orientation_deg");
   const auto pair = channel.fsa().carrier_pair_for_angle(pose.orientation_deg);
   if (!pair) return 0.0;
   rf::RfSwitch sw{rf::RfSwitchConfig{}};
@@ -93,6 +99,7 @@ core::NodeRoundResult serve_uplink_node(const core::MilBackLink& link,
     const double p_j = dbm2watt(link.channel().backscatter_power_dbm(
         antenna::FsaPort::kA,
         link.channel().fsa().config().center_frequency_hz, poses[j], mod));
+    // milback-analyze: no-reduction(interferer sum in fixed node-index order within one service call)
     interference_w +=
         p_j * db2lin(-inter_node_isolation_db(link.channel(), poses[i], poses[j]));
   }
@@ -143,6 +150,7 @@ core::NodeDownlinkResult serve_downlink_node(
           std::abs(poses[i].azimuth_deg - poses[j].azimuth_deg);
       const double rejection_db =
           tx.config().boresight_gain_dbi - tx.gain_dbi(offset);
+      // milback-analyze: no-reduction(interferer sum in fixed node-index order within one service call)
       interference_w += p_sig_w * db2lin(-rejection_db);
     }
     const double noise_eq_w = det.input_power_for_voltage(std::sqrt(

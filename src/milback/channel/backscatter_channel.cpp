@@ -47,6 +47,7 @@ double BackscatterChannel::incident_port_power_dbm(antenna::FsaPort port, double
 
 double BackscatterChannel::cross_port_power_dbm(antenna::FsaPort intended_port, double f_hz,
                                                 const NodePose& pose) const noexcept {
+  require_positive(f_hz, "f_hz");
   const auto other = antenna::other_port(intended_port);
   const double node_gain = fsa_.gain_dbi(other, f_hz, pose.orientation_deg);
   return friis_dbm(config_.tx_power_dbm, ap_tx_.config().boresight_gain_dbi, node_gain,
@@ -67,6 +68,8 @@ double BackscatterChannel::backscatter_power_dbm(antenna::FsaPort port, double f
 ReturnPath BackscatterChannel::node_return(antenna::FsaPort port, double f_hz,
                                            const NodePose& pose,
                                            double reflect_power_coeff) const noexcept {
+  require_positive(f_hz, "f_hz");
+  require_non_negative(reflect_power_coeff, "reflect_power_coeff");
   ReturnPath r;
   r.delay_s = round_trip_delay_s(pose.distance_m);
   r.power_w = dbm2watt(backscatter_power_dbm(port, f_hz, pose, reflect_power_coeff));
@@ -77,6 +80,7 @@ ReturnPath BackscatterChannel::node_return(antenna::FsaPort port, double f_hz,
 
 std::vector<ReturnPath> BackscatterChannel::clutter_returns(double f_hz,
                                                             const NodePose& pose) const {
+  require_positive(f_hz, "f_hz");
   std::vector<ReturnPath> out;
   out.reserve(environment_.size());
   for (const auto& c : environment_.clutter()) {
@@ -98,6 +102,8 @@ std::vector<ReturnPath> BackscatterChannel::clutter_returns(double f_hz,
 std::vector<ReturnPath> BackscatterChannel::node_ghost_returns(
     antenna::FsaPort port, double f_hz, const NodePose& pose,
     double reflect_power_coeff, double ghost_bounce_loss_db) const {
+  require_positive(f_hz, "f_hz");
+  require_finite(ghost_bounce_loss_db, "ghost_bounce_loss_db");
   std::vector<ReturnPath> out;
   const double direct_dbm = backscatter_power_dbm(port, f_hz, pose, reflect_power_coeff);
 

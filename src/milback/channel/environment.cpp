@@ -1,5 +1,7 @@
 #include "milback/channel/environment.hpp"
 
+#include "milback/core/contract.hpp"
+
 namespace milback::channel {
 
 Environment Environment::indoor_office(milback::Rng& rng, std::size_t objects) {
@@ -12,6 +14,7 @@ Environment Environment::indoor_office(milback::Rng& rng, std::size_t objects) {
   for (std::size_t i = 3; i < objects; ++i) {
     env.add({rng.uniform(1.5, 8.0), rng.uniform(-30.0, 30.0), rng.uniform(0.05, 0.5)});
   }
+  MILBACK_ENSURE(env.size() >= 3, "indoor_office: walls always present");
   return env;
 }
 

@@ -24,7 +24,10 @@ double modulation_power_coeff(const rf::RfSwitch& sw) noexcept {
   const double a_reflect = std::sqrt(sw.reflection_power(rf::SwitchState::kReflect));
   const double a_absorb = std::sqrt(sw.reflection_power(rf::SwitchState::kAbsorb));
   const double amp = (a_reflect - a_absorb) / 2.0;
-  return amp * amp;
+  const double coeff = amp * amp;
+  MILBACK_ENSURE(coeff >= 0.0 && coeff <= 1.0,
+                 "modulation_power_coeff: power fraction in [0, 1]");
+  return coeff;
 }
 
 DownlinkBudget compute_downlink_budget(const BackscatterChannel& channel,
@@ -134,6 +137,7 @@ RadarBudget compute_radar_budget(const BackscatterChannel& channel, const NodePo
   return b;
 }
 
+// milback-analyze: no-contract(pure formatting of already-validated budget terms)
 std::string format_terms(const std::vector<BudgetTerm>& terms) {
   std::ostringstream os;
   for (const auto& t : terms) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::channel {
@@ -21,6 +22,7 @@ double backscatter_dbm(double tx_power_dbm, double ap_tx_gain_dbi, double ap_rx_
                        double node_gain_in_dbi, double node_gain_out_dbi,
                        double reflect_power_coeff, double distance_m,
                        double frequency_hz) noexcept {
+  require_positive(frequency_hz, "frequency_hz");
   const double loss = fspl_db(distance_m, frequency_hz);
   const double reflect_db = lin2db(std::max(reflect_power_coeff, 1e-30));
   return tx_power_dbm + ap_tx_gain_dbi + node_gain_in_dbi - loss + reflect_db +
@@ -30,6 +32,7 @@ double backscatter_dbm(double tx_power_dbm, double ap_tx_gain_dbi, double ap_rx_
 double radar_return_dbm(double tx_power_dbm, double tx_gain_dbi, double rx_gain_dbi,
                         double rcs_m2, double distance_m, double frequency_hz) noexcept {
   // Pr = Pt Gt Gr lambda^2 sigma / ((4 pi)^3 d^4)
+  require_positive(frequency_hz, "frequency_hz");
   const double d = std::max(distance_m, 0.01);
   const double lam = wavelength(frequency_hz);
   const double num_db = tx_power_dbm + tx_gain_dbi + rx_gain_dbi +

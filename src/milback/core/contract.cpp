@@ -41,12 +41,14 @@ Handler handler() noexcept { return g_handler.load(); }
 
 void throwing_handler(const ContractViolation& v) { throw v; }
 
+// milback-analyze: no-contract(terminal failure path; must not itself assert)
 void aborting_handler(const ContractViolation& v) {
   std::fprintf(stderr, "%s\n", v.what());
   std::fflush(stderr);
   std::abort();
 }
 
+// milback-analyze: no-contract(contract machinery core; a contract check here would recurse)
 void violate(const char* kind, const char* predicate, const std::string& message,
              const char* file, int line) {
   const ContractViolation v(kind, predicate, message, file, line);
@@ -98,6 +100,7 @@ double require_non_negative(double v, const char* name, std::source_location loc
   return v;
 }
 
+// milback-analyze: no-contract(guard primitive: reports via violate_guard rather than recursing)
 double require_in_range(double v, double lo, double hi, const char* name,
                         std::source_location loc) {
   if (!std::isfinite(v) || v < lo || v > hi) {

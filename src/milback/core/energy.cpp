@@ -1,11 +1,15 @@
 #include "milback/core/energy.hpp"
 
+#include "milback/core/contract.hpp"
+
 namespace milback::core {
 
 std::vector<EnergyRow> milback_energy_rows(const node::PowerModelConfig& config,
                                            double downlink_rate_bps,
                                            double uplink_rate_bps) {
   using node::NodeMode;
+  require_positive(downlink_rate_bps, "downlink_rate_bps");
+  require_positive(uplink_rate_bps, "uplink_rate_bps");
   std::vector<EnergyRow> rows;
 
   const double p_dl = node::node_power_w(NodeMode::kDownlink, config);
@@ -31,6 +35,8 @@ double packet_node_energy_j(const PacketTiming& timing, LinkDirection direction,
                             double uplink_symbol_rate_hz,
                             double localization_toggle_hz) {
   using node::NodeMode;
+  require_non_negative(uplink_symbol_rate_hz, "uplink_symbol_rate_hz");
+  require_non_negative(localization_toggle_hz, "localization_toggle_hz");
   double energy = 0.0;
   energy += node::node_power_w(NodeMode::kOrientationSensing, config) * timing.field1_s;
   energy += node::node_power_w(NodeMode::kLocalization, config, localization_toggle_hz) *
@@ -46,6 +52,8 @@ double packet_node_energy_j(const PacketTiming& timing, LinkDirection direction,
 
 double battery_life_hours(double packet_energy_j, double packets_per_second,
                           double battery_mwh, double idle_power_w) {
+  require_non_negative(packet_energy_j, "packet_energy_j");
+  require_non_negative(battery_mwh, "battery_mwh");
   const double battery_j = battery_mwh * 3.6;  // mWh -> J
   const double average_power_w = packet_energy_j * packets_per_second + idle_power_w;
   if (average_power_w <= 0.0) return 0.0;

@@ -3,6 +3,8 @@
 #include <array>
 #include <cmath>
 
+#include "milback/core/contract.hpp"
+
 namespace milback::core {
 
 namespace {
@@ -46,6 +48,7 @@ std::vector<bool> hamming74_encode(const std::vector<bool>& data) {
     const bool p3 = d[1] ^ d[2] ^ d[3];
     out.insert(out.end(), {d[0], d[1], d[2], d[3], p1, p2, p3});
   }
+  MILBACK_ENSURE(out.size() == blocks * 7, "hamming74_encode: whole 7-bit blocks");
   return out;
 }
 
@@ -67,10 +70,12 @@ FecDecodeResult hamming74_decode(const std::vector<bool>& coded) {
     }
     r.data.insert(r.data.end(), {c[0], c[1], c[2], c[3]});
   }
+  MILBACK_ENSURE(r.data.size() == r.blocks * 4, "hamming74_decode: 4 data bits per block");
   return r;
 }
 
 double hamming74_coded_ber(double raw_ber) noexcept {
+  require_finite(raw_ber, "raw_ber");
   const double p = std::min(std::max(raw_ber, 0.0), 0.5);
   if (p <= 0.0) return 0.0;
   // For j >= 2 channel errors in a block the decoder (at best) leaves j and

@@ -69,6 +69,9 @@ std::vector<double> MilBackLink::field1_port_power(const channel::NodePose& pose
 std::vector<double> MilBackLink::node_field1_trace(const channel::NodePose& pose,
                                                    FsaPort port, LinkDirection direction,
                                                    milback::Rng& rng) const {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  require_finite(pose.orientation_deg, "pose.orientation_deg");
   const auto power = field1_port_power(pose, port, direction);
   const auto volts =
       node_.detector(port).detect(power, config_.node_sim_rate_hz, rng);
@@ -79,6 +82,9 @@ std::optional<node::NodeOrientationEstimate> MilBackLink::sense_orientation_at_n
     const channel::NodePose& pose, milback::Rng& rng) const {
   // One triangular chirp per port (the node integrates over Field 1; one
   // chirp is the atomic measurement).
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  require_finite(pose.orientation_deg, "pose.orientation_deg");
   const auto& chirp = config_.packet.preamble.field1;
   const double fs = config_.node_sim_rate_hz;
   const auto n = std::size_t(chirp.duration_s * fs);
@@ -104,6 +110,9 @@ std::optional<node::NodeOrientationEstimate> MilBackLink::sense_orientation_at_n
 DownlinkRunResult MilBackLink::run_downlink(const channel::NodePose& pose,
                                             const std::vector<bool>& bits,
                                             milback::Rng& rng) const {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  require_finite(pose.orientation_deg, "pose.orientation_deg");
   DownlinkRunResult result;
   result.bits_sent = bits.size();
 
@@ -170,6 +179,9 @@ DownlinkRunResult MilBackLink::run_downlink_dense(const channel::NodePose& pose,
                                                   const std::vector<bool>& bits,
                                                   unsigned levels,
                                                   milback::Rng& rng) const {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  require_finite(pose.orientation_deg, "pose.orientation_deg");
   DownlinkRunResult result;
   result.bits_sent = bits.size();
   if (!valid_levels(levels)) return result;
@@ -301,6 +313,9 @@ PacketRunResult MilBackLink::run_packet(const channel::NodePose& pose,
                                         LinkDirection direction,
                                         const std::vector<bool>& payload_bits,
                                         milback::Rng& rng) const {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  require_finite(pose.orientation_deg, "pose.orientation_deg");
   PacketRunResult result;
   result.requested = direction;
 

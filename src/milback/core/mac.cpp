@@ -1,5 +1,6 @@
 #include "milback/core/mac.hpp"
 
+#include "milback/core/contract.hpp"
 #include "milback/obs/registry.hpp"
 
 namespace milback::core {
@@ -38,6 +39,7 @@ MacReport MacSimulator::run(double duration_s, milback::Rng& rng) {
   // fresh scenario seeded by one draw from the caller's generator (so the
   // caller's RNG advances exactly once per run, runs-in-sequence stay
   // decorrelated, and the engine's own draws are stateless event streams).
+  require_non_negative(duration_s, "duration_s");
   cell::CellConfig cfg;
   cfg.network = config_.network;
   cfg.rate = config_.rate;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "milback/core/contract.hpp"
+
 namespace milback::core {
 
 namespace {
@@ -19,6 +21,9 @@ MilBackNetwork::MilBackNetwork(channel::BackscatterChannel channel,
     : engine_(std::move(channel), engine_config(config)) {}
 
 std::size_t MilBackNetwork::add_node(std::string id, const channel::NodePose& pose) {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  require_finite(pose.orientation_deg, "pose.orientation_deg");
   engine_.add_node(id, TrafficSpec{.pose = pose});
   nodes_.push_back(NetworkNode{std::move(id), pose});
   return nodes_.size() - 1;
@@ -34,6 +39,7 @@ std::vector<DiscoveryResult> MilBackNetwork::discover(milback::Rng& rng) const {
     d.orientation = engine_.link().sense_orientation_at_ap(n.pose, rng);
     out.push_back(std::move(d));
   }
+  MILBACK_ENSURE(out.size() == nodes_.size(), "discover: one result per node");
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "milback/core/oaqfm.hpp"
 
+#include "milback/core/contract.hpp"
+
 namespace milback::core {
 
 std::vector<OaqfmSymbol> uplink_pilot(std::size_t n) {
@@ -7,6 +9,7 @@ std::vector<OaqfmSymbol> uplink_pilot(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     pilot[i] = (i % 2 == 0) ? OaqfmSymbol::k11 : OaqfmSymbol::k00;
   }
+  MILBACK_ENSURE(pilot.size() == n, "uplink_pilot: one symbol per slot");
   return pilot;
 }
 
@@ -18,6 +21,7 @@ std::vector<OaqfmSymbol> symbols_from_bits(const std::vector<bool>& bits) {
     const bool lsb = (i + 1 < bits.size()) ? bits[i + 1] : false;
     out.push_back(static_cast<OaqfmSymbol>((msb ? 0b10 : 0) | (lsb ? 0b01 : 0)));
   }
+  MILBACK_ENSURE(out.size() == (bits.size() + 1) / 2, "symbols_from_bits: two bits per symbol");
   return out;
 }
 
@@ -29,6 +33,7 @@ std::vector<bool> bits_from_symbols(const std::vector<OaqfmSymbol>& symbols) {
     out.push_back((v & 0b10) != 0);
     out.push_back((v & 0b01) != 0);
   }
+  MILBACK_ENSURE(out.size() == symbols.size() * 2, "bits_from_symbols: two bits per symbol");
   return out;
 }
 
@@ -41,9 +46,12 @@ std::size_t bit_errors(const std::vector<OaqfmSymbol>& tx,
     errors += std::size_t((diff & 0b01) != 0) + std::size_t((diff & 0b10) != 0);
   }
   errors += 2 * (std::max(tx.size(), rx.size()) - common);
+  MILBACK_ENSURE(errors <= 2 * std::max(tx.size(), rx.size()),
+                 "bit_errors: bounded by total bit count");
   return errors;
 }
 
+// milback-analyze: no-contract(total over the symbol alphabet; unknown values render as ??)
 std::string to_string(OaqfmSymbol s) {
   switch (s) {
     case OaqfmSymbol::k00: return "00";

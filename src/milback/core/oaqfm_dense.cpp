@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "milback/core/ber.hpp"
+#include "milback/core/contract.hpp"
 
 namespace milback::core {
 
@@ -11,6 +12,7 @@ std::uint8_t gray_encode(std::uint8_t v) noexcept {
   return std::uint8_t(v ^ (v >> 1));
 }
 
+// milback-analyze: no-contract(total involution over all 8-bit values; inverse of gray_encode)
 std::uint8_t gray_decode(std::uint8_t g) noexcept {
   std::uint8_t v = g;
   for (std::uint8_t shift = 1; shift < 8; shift <<= 1) v ^= std::uint8_t(v >> shift);
@@ -49,6 +51,7 @@ std::vector<DenseSymbol> dense_symbols_from_bits(const std::vector<bool>& bits,
     sym.level_b = gray_decode(read_bits(bits, base + per_tone, per_tone));
     out.push_back(sym);
   }
+  MILBACK_ENSURE(out.size() == n_symbols, "dense_symbols_from_bits: all bits packed");
   return out;
 }
 
@@ -66,6 +69,8 @@ std::vector<bool> dense_bits_from_symbols(const std::vector<DenseSymbol>& symbol
     push(s.level_a);
     push(s.level_b);
   }
+  MILBACK_ENSURE(out.size() == symbols.size() * 2 * per_tone,
+                 "dense_bits_from_symbols: two gray-coded tones per symbol");
   return out;
 }
 
@@ -76,10 +81,13 @@ std::size_t dense_bit_errors(const std::vector<DenseSymbol>& tx,
   const std::size_t common = std::min(tx_bits.size(), rx_bits.size());
   std::size_t errors = std::max(tx_bits.size(), rx_bits.size()) - common;
   for (std::size_t i = 0; i < common; ++i) errors += std::size_t(tx_bits[i] != rx_bits[i]);
+  MILBACK_ENSURE(errors <= std::max(tx_bits.size(), rx_bits.size()),
+                 "dense_bit_errors: bounded by total bit count");
   return errors;
 }
 
 double ber_dense_ask(double snr_linear, unsigned levels) noexcept {
+  require_finite(snr_linear, "snr_linear");
   if (!valid_levels(levels) || snr_linear <= 0.0) return 0.5;
   const double L = double(levels);
   const double arg = std::sqrt(snr_linear) / (2.0 * (L - 1.0));

@@ -37,6 +37,7 @@ inline bool valid_levels(unsigned levels) noexcept {
 }
 
 /// Bits per dense symbol: 2 * log2(L).
+// milback-analyze: no-contract(invalid level counts are defined to return 0)
 inline unsigned dense_bits_per_symbol(unsigned levels) noexcept {
   if (!valid_levels(levels)) return 0;
   unsigned bits = 0;
@@ -58,6 +59,7 @@ inline double level_amplitude_fraction(unsigned k, unsigned levels) noexcept {
 
 /// Nearest-level slicer for a measured detector voltage, given the observed
 /// full-scale voltage (level L-1). Returns a level in [0, L-1].
+// milback-analyze: no-contract(degenerate full-scale or level count is defined to slice to level 0)
 inline std::uint8_t slice_level(double v, double v_full_scale,
                                 unsigned levels) noexcept {
   if (v_full_scale <= 0.0 || levels < 2) return 0;

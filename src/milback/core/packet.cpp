@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "milback/core/contract.hpp"
+
 namespace milback::core {
 
 PacketTiming compute_timing(const PacketConfig& config, LinkDirection direction,
                             double symbol_rate_hz) noexcept {
+  require_finite(symbol_rate_hz, "symbol_rate_hz");
   PacketTiming t;
   const auto& p = config.preamble;
   if (direction == LinkDirection::kUplink) {
@@ -23,7 +26,7 @@ PacketTiming compute_timing(const PacketConfig& config, LinkDirection direction,
 std::vector<double> field1_chirp_starts(const PreambleConfig& config,
                                         LinkDirection direction) noexcept {
   std::vector<double> starts;
-  const double T = config.field1.duration_s;
+  const double T = require_positive(config.field1.duration_s, "field1.duration_s");
   if (direction == LinkDirection::kUplink) {
     for (std::size_t i = 0; i < config.field1_chirps_uplink; ++i) {
       starts.push_back(double(i) * T);
@@ -41,6 +44,8 @@ std::vector<double> field1_chirp_starts(const PreambleConfig& config,
 std::optional<LinkDirection> detect_direction(const std::vector<double>& envelope_v,
                                               double fs, const PreambleConfig& config,
                                               double activity_threshold_rel) {
+  require_positive(fs, "fs");
+  require_unit_interval(activity_threshold_rel, "activity_threshold_rel");
   if (envelope_v.empty()) return std::nullopt;
   const double vmax = *std::max_element(envelope_v.begin(), envelope_v.end());
   if (vmax <= 0.0) return std::nullopt;

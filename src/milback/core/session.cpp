@@ -1,5 +1,7 @@
 #include "milback/core/session.hpp"
 
+#include "milback/core/contract.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -55,6 +57,9 @@ std::pair<double, bool> AdaptiveSession::adapt(double snr_db) const noexcept {
 
 SessionStep AdaptiveSession::step(const channel::NodePose& true_pose,
                                   milback::Rng& rng) {
+  require_positive(true_pose.distance_m, "true_pose.distance_m");
+  require_finite(true_pose.azimuth_deg, "true_pose.azimuth_deg");
+  require_finite(true_pose.orientation_deg, "true_pose.orientation_deg");
   SessionStep out;
   session_obs().rounds.add();
 

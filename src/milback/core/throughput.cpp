@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "milback/core/contract.hpp"
+
 namespace milback::core {
 
 PacketEfficiency packet_efficiency(const PacketConfig& config, LinkDirection direction,
                                    double bit_rate_bps, std::size_t payload_symbols) {
+  require_non_negative(bit_rate_bps, "bit_rate_bps");
   PacketEfficiency e;
   PacketConfig cfg = config;
   cfg.payload_symbols = payload_symbols;
@@ -23,6 +26,7 @@ PacketEfficiency packet_efficiency(const PacketConfig& config, LinkDirection dir
 std::size_t payload_for_efficiency(const PacketConfig& config, LinkDirection direction,
                                    double bit_rate_bps, double target_efficiency,
                                    std::size_t max_symbols) {
+  require_unit_interval(target_efficiency, "target_efficiency");
   if (target_efficiency >= 1.0) return 0;
   // efficiency = P / (P + O) >= target  =>  P >= O * target / (1 - target),
   // with P the payload time and O the preamble time.
@@ -43,6 +47,8 @@ double max_tracking_interval_s(double speed_mps, double max_drift_m) noexcept {
 double localization_overhead(const PacketConfig& config, LinkDirection direction,
                              double bit_rate_bps, std::size_t payload_symbols,
                              double speed_mps, double max_drift_m) {
+  require_finite(speed_mps, "speed_mps");
+  require_finite(max_drift_m, "max_drift_m");
   const auto e = packet_efficiency(config, direction, bit_rate_bps, payload_symbols);
   const double interval = max_tracking_interval_s(speed_mps, max_drift_m);
   if (interval >= 1e9) return 0.0;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::core {
@@ -18,6 +19,8 @@ NodeTracker::NodeTracker(const TrackerConfig& config) : config_(config) {}
 
 const TrackState& NodeTracker::update(const ap::LocalizationResult& fix,
                                       const std::optional<double>& orientation_deg) {
+  MILBACK_REQUIRE(!fix.detected || (std::isfinite(fix.range_m) && std::isfinite(fix.angle_deg)),
+                  "NodeTracker::update: a detected fix must carry finite range/angle");
   const double dt = config_.dt_s;
   const double mx = fix.range_m * std::cos(deg2rad(fix.angle_deg));
   const double my = fix.range_m * std::sin(deg2rad(fix.angle_deg));
@@ -71,6 +74,7 @@ const TrackState& NodeTracker::update(const ap::LocalizationResult& fix,
 }
 
 TrackState NodeTracker::predict(double dt_s) const {
+  require_finite(dt_s, "dt_s");
   TrackState s = state_;
   s.x_m += s.vx_mps * dt_s;
   s.y_m += s.vy_mps * dt_s;

@@ -8,6 +8,7 @@
 namespace milback::dsp {
 
 std::size_t next_pow2(std::size_t n) noexcept {
+  MILBACK_REQUIRE(n <= (std::size_t{1} << 62), "next_pow2: size out of range");
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -35,6 +36,7 @@ void ifft_inplace(std::vector<cplx>& x) {
 std::vector<cplx> fft(std::vector<cplx> x) {
   x.resize(next_pow2(x.size()), cplx{0.0, 0.0});
   fft_inplace(x);
+  MILBACK_ENSURE(is_pow2(x.size()), "fft: output padded to a power of two");
   return x;
 }
 
@@ -54,18 +56,21 @@ std::vector<cplx> fft_real(const std::vector<double>& x) {
   }
   // Half-size packed transform: ~2x fewer butterflies than the complex path.
   fft_plan(n).forward_real(x, out);
+  MILBACK_ENSURE(out.size() == n, "fft_real: spectrum length equals padded size");
   return out;
 }
 
 std::vector<double> power_spectrum(const std::vector<cplx>& spectrum) {
   std::vector<double> out(spectrum.size());
   for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = std::norm(spectrum[i]);
+  MILBACK_ENSURE(out.size() == spectrum.size(), "power_spectrum: one bin per input bin");
   return out;
 }
 
 std::vector<double> magnitude_spectrum(const std::vector<cplx>& spectrum) {
   std::vector<double> out(spectrum.size());
   for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = std::abs(spectrum[i]);
+  MILBACK_ENSURE(out.size() == spectrum.size(), "magnitude_spectrum: one bin per input bin");
   return out;
 }
 

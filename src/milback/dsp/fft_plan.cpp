@@ -130,6 +130,7 @@ void FftPlan::forward_real(const std::vector<double>& x,
 }
 
 const FftPlan& fft_plan(std::size_t n) {
+  MILBACK_REQUIRE(is_pow2(n), "fft_plan: size must be a power of two");
   static std::mutex mutex;
   static std::unordered_map<std::size_t, std::unique_ptr<const FftPlan>> cache;
   static const obs::Counter hits = obs::Registry::global().counter("dsp.fft_plan.hits");

@@ -39,6 +39,7 @@ std::vector<double> design_lowpass(double fc, double fs, std::size_t taps) {
 }
 
 std::vector<double> design_highpass(double fc, double fs, std::size_t taps) {
+  MILBACK_REQUIRE(0.0 < fc && fc < fs / 2.0, "design_highpass: require 0 < fc < fs/2");
   auto h = design_lowpass(fc, fs, taps);
   // Spectral inversion: delta - lowpass.
   for (auto& v : h) v = -v;
@@ -98,6 +99,7 @@ double OnePoleLowpass::step(double x) noexcept {
 std::vector<double> OnePoleLowpass::process(const std::vector<double>& x) {
   std::vector<double> y(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = step(x[i]);
+  MILBACK_ENSURE(y.size() == x.size(), "process: elementwise shape preserved");
   return y;
 }
 

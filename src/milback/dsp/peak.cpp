@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "milback/core/contract.hpp"
+
 namespace milback::dsp {
 
 std::size_t argmax(const std::vector<double>& x) noexcept {
@@ -12,6 +14,7 @@ std::size_t argmax(const std::vector<double>& x) noexcept {
 
 Peak interpolate_peak(const std::vector<double>& x, std::size_t k) noexcept {
   if (x.empty()) return {};
+  MILBACK_REQUIRE(k < x.size(), "interpolate_peak: peak index within x");
   if (k == 0 || k + 1 >= x.size()) return {double(k), x.empty() ? 0.0 : x[k]};
   const double a = x[k - 1], b = x[k], c = x[k + 1];
   const double denom = a - 2.0 * b + c;
@@ -28,6 +31,7 @@ Peak max_peak(const std::vector<double>& x) noexcept {
 
 std::vector<Peak> find_peaks(const std::vector<double>& x, double threshold,
                              std::size_t min_distance) {
+  require_finite(threshold, "threshold");
   std::vector<Peak> peaks;
   if (x.size() < 3) return peaks;
   if (min_distance == 0) min_distance = 1;
@@ -52,6 +56,7 @@ std::vector<Peak> find_peaks(const std::vector<double>& x, double threshold,
 std::optional<std::pair<Peak, Peak>> two_strongest_peaks(const std::vector<double>& x,
                                                          double threshold,
                                                          std::size_t min_distance) {
+  require_finite(threshold, "threshold");
   auto peaks = find_peaks(x, threshold, min_distance);
   if (peaks.size() < 2) return std::nullopt;
   Peak first = peaks[0], second = peaks[1];

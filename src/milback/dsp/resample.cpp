@@ -28,6 +28,7 @@ std::vector<double> downsample(const std::vector<double>& x, std::size_t factor)
   return y;
 }
 
+// milback-analyze: no-contract(degenerate inputs -- empty x or zero out_len -- are defined to return empty)
 std::vector<double> resample_linear(const std::vector<double>& x, std::size_t out_len) {
   if (out_len == 0 || x.empty()) return {};
   if (x.size() == 1) return std::vector<double>(out_len, x[0]);

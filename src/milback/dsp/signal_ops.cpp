@@ -6,6 +6,7 @@
 
 namespace milback::dsp {
 
+// milback-analyze: no-contract(total over any signal; empty input is defined to return 0)
 double signal_power(const std::vector<double>& x) noexcept {
   if (x.empty()) return 0.0;
   double acc = 0.0;
@@ -13,6 +14,7 @@ double signal_power(const std::vector<double>& x) noexcept {
   return acc / double(x.size());
 }
 
+// milback-analyze: no-contract(total over any signal; empty input is defined to return 0)
 double signal_power(const std::vector<cplx>& x) noexcept {
   if (x.empty()) return 0.0;
   double acc = 0.0;
@@ -20,6 +22,7 @@ double signal_power(const std::vector<cplx>& x) noexcept {
   return acc / double(x.size());
 }
 
+// milback-analyze: no-contract(total over any signal; empty input is defined to return 0)
 double signal_energy(const std::vector<double>& x) noexcept {
   double acc = 0.0;
   for (double v : x) acc += v * v;
@@ -59,21 +62,25 @@ void scale(std::vector<cplx>& x, double k) noexcept {
 std::vector<double> abs(const std::vector<cplx>& x) {
   std::vector<double> out(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::abs(x[i]);
+  MILBACK_ENSURE(out.size() == x.size(), "abs: elementwise shape preserved");
   return out;
 }
 
 std::vector<double> abs2(const std::vector<cplx>& x) {
   std::vector<double> out(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::norm(x[i]);
+  MILBACK_ENSURE(out.size() == x.size(), "abs2: elementwise shape preserved");
   return out;
 }
 
 std::vector<double> arg(const std::vector<cplx>& x) {
   std::vector<double> out(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::arg(x[i]);
+  MILBACK_ENSURE(out.size() == x.size(), "arg: elementwise shape preserved");
   return out;
 }
 
+// milback-analyze: no-contract(non-positive powers are defined inputs, clamped to +/-300 dB)
 double snr_db(double signal_power_w, double noise_power_w) noexcept {
   if (noise_power_w <= 0.0) return 300.0;  // effectively noiseless
   if (signal_power_w <= 0.0) return -300.0;

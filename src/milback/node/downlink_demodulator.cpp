@@ -1,5 +1,7 @@
 #include "milback/node/downlink_demodulator.hpp"
 
+#include "milback/core/contract.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -84,6 +86,7 @@ DownlinkDecision demodulate_downlink(const std::vector<double>& port_a_v,
 std::vector<bool> demodulate_downlink_ook(const std::vector<double>& port_a_v,
                                           const std::vector<double>& port_b_v, double fs,
                                           const DownlinkDemodConfig& config) {
+  require_positive(fs, "fs");
   // Normal incidence: both ports see the same tone; pick the stronger trace.
   const double max_a =
       port_a_v.empty() ? 0.0 : *std::max_element(port_a_v.begin(), port_a_v.end());
@@ -102,6 +105,7 @@ std::vector<bool> demodulate_downlink_ook(const std::vector<double>& port_a_v,
 std::vector<core::DenseSymbol> demodulate_downlink_dense(
     const std::vector<double>& port_a_v, const std::vector<double>& port_b_v, double fs,
     const DownlinkDemodConfig& config, unsigned levels) {
+  require_positive(fs, "fs");
   std::vector<core::DenseSymbol> out;
   if (!core::valid_levels(levels)) return out;
   const auto samples_a = slice_symbols(port_a_v, fs, config);

@@ -38,6 +38,7 @@ double MilBackNode::through_power(antenna::FsaPort port) const noexcept {
   return sw.through_power(sw.state());
 }
 
+// milback-analyze: no-contract(mode switch is total over the NodeMode enum; every arm sets both ports)
 void MilBackNode::enter_mode(NodeMode mode) noexcept {
   mode_ = mode;
   switch (mode) {
@@ -57,6 +58,7 @@ void MilBackNode::enter_mode(NodeMode mode) noexcept {
   }
 }
 
+// milback-analyze: no-contract(negative toggle rate is a sentinel selecting the mode-default rate)
 double MilBackNode::power_w(double toggle_rate_hz) const noexcept {
   double rate = toggle_rate_hz;
   if (rate < 0.0) {

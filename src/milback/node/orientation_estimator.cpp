@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/dsp/peak.hpp"
 
 namespace milback::node {
@@ -10,6 +11,7 @@ namespace milback::node {
 std::optional<double> aligned_frequency_from_trace(
     const std::vector<double>& envelope_v, double fs, const radar::ChirpConfig& chirp,
     const OrientationEstimatorConfig& config) {
+  require_positive(fs, "fs");
   if (chirp.shape != radar::ChirpShape::kTriangular || envelope_v.size() < 8) {
     return std::nullopt;
   }
@@ -38,6 +40,7 @@ std::optional<NodeOrientationEstimate> estimate_orientation_at_node(
     const std::vector<double>& port_a_v, const std::vector<double>& port_b_v, double fs,
     const radar::ChirpConfig& chirp, const antenna::DualPortFsa& fsa,
     const OrientationEstimatorConfig& config) {
+  require_positive(fs, "fs");
   NodeOrientationEstimate est;
 
   est.f_peak_a_hz = aligned_frequency_from_trace(port_a_v, fs, chirp, config);

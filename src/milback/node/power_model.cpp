@@ -1,9 +1,12 @@
 #include "milback/node/power_model.hpp"
 
+#include "milback/core/contract.hpp"
+
 namespace milback::node {
 
 double node_power_w(NodeMode mode, const PowerModelConfig& config,
                     double toggle_rate_hz) noexcept {
+  require_non_negative(toggle_rate_hz, "toggle_rate_hz");
   if (mode == NodeMode::kIdle) return config.idle_power_w;
   // Two detectors + two switch biases + support rail are on in every active
   // mode (the detectors double as the absorptive terminations).

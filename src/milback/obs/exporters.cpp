@@ -119,6 +119,7 @@ std::string sanitize_prom(std::string_view name) {
 
 }  // namespace
 
+// milback-analyze: no-contract(exporter renders whatever the registry holds; formatting must not abort)
 std::string metrics_jsonl(bool include_runtime) {
   const auto metrics = Registry::global().metric_snapshots();
   std::string out;
@@ -130,6 +131,7 @@ std::string metrics_jsonl(bool include_runtime) {
   return out;
 }
 
+// milback-analyze: no-contract(exporter renders whatever the registry holds; formatting must not abort)
 std::string prometheus_text(bool include_runtime) {
   using Kind = Registry::MetricSnapshot::Kind;
   const auto metrics = Registry::global().metric_snapshots();
@@ -217,6 +219,7 @@ std::string chrome_trace_json() {
   return out;
 }
 
+// milback-analyze: no-contract(best-effort IO; failure is reported via the return value, not an abort)
 bool write_text_file(const std::string& path, const std::string& contents) {
   std::error_code ec;
   const std::filesystem::path p(path);

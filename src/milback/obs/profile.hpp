@@ -31,6 +31,7 @@ inline HistogramSpec profile_ns_spec() noexcept {
 /// histogram. Non-copyable, non-movable (measure exactly one scope).
 class ProfileScope {
  public:
+  // milback-analyze: no-contract(no-op when metrics are disabled; an invalid histogram handle deliberately yields an inert scope)
   explicit ProfileScope(const Histogram& hist) noexcept {
     if (!metrics_enabled() || !hist.valid()) return;
     hist_ = &hist;

@@ -157,6 +157,7 @@ ThreadSink& sink() {
 // Bucket math.
 // ---------------------------------------------------------------------------
 
+// milback-analyze: no-contract(total by design: NaN and underflow samples map to bucket 0)
 std::size_t bucket_index(const HistogramSpec& spec, double x) noexcept {
   if (!(x >= spec.min_edge)) return 0;  // underflow; also x<=0 and NaN
   // k = floor(log(x / min_edge) / log(growth)) picks the finite bucket; the
@@ -187,6 +188,8 @@ void HistogramSnapshot::record(double x) {
   max = count == 0 ? x : std::max(max, x);
   ++count;
   ++counts[bucket_index(spec, x)];
+  MILBACK_ENSURE(counts.size() == spec.buckets + 2,
+                 "HistogramSnapshot::record: bucket array tracks the spec");
 }
 
 HistogramSnapshot merge(const HistogramSnapshot& a, const HistogramSnapshot& b) {
@@ -394,6 +397,7 @@ const Entry* find_entry(Central& c, std::string_view name) {
 
 }  // namespace
 
+// milback-analyze: no-contract(a metric that was never recorded is defined to read as zero)
 std::uint64_t Registry::counter_value(std::string_view name) {
   flush_this_thread();
   Central& c = central();
@@ -402,6 +406,7 @@ std::uint64_t Registry::counter_value(std::string_view name) {
   return e ? e->counter : 0;
 }
 
+// milback-analyze: no-contract(a metric that was never recorded is defined to read as zero)
 double Registry::gauge_value(std::string_view name) {
   flush_this_thread();
   Central& c = central();
@@ -418,6 +423,8 @@ HistogramSnapshot Registry::histogram_snapshot(std::string_view name) {
   if (e == nullptr) return {};
   HistogramSnapshot h = e->hist;
   if (h.counts.empty()) h.counts.assign(h.spec.buckets + 2, 0);
+  MILBACK_ENSURE(h.counts.size() == h.spec.buckets + 2,
+                 "histogram_snapshot: bucket array tracks the spec");
   return h;
 }
 

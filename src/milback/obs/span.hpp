@@ -54,6 +54,7 @@ class Span {
   Span() = default;
 
   /// Opens a span named by a Registry::trace_name() id at sim time t_begin.
+  // milback-analyze: no-contract(no-op when tracing is disabled; an invalid name id deliberately yields an inactive span)
   Span(std::uint32_t name_id, double t_begin, std::uint64_t lane = 0) noexcept {
     if (!trace_enabled() || name_id == detail::kInvalidId) return;
     active_ = true;

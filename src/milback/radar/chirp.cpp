@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::radar {
@@ -14,6 +15,7 @@ double ChirpConfig::slope_hz_per_s() const noexcept {
 }
 
 double ChirpConfig::frequency_at(double t) const noexcept {
+  require_finite(t, "t");
   const double tt = std::clamp(t, 0.0, duration_s);
   if (shape == ChirpShape::kSawtooth) {
     return start_frequency_hz + slope_hz_per_s() * tt;
@@ -24,6 +26,7 @@ double ChirpConfig::frequency_at(double t) const noexcept {
 }
 
 std::size_t ChirpConfig::crossings(double f, double t_out[2]) const noexcept {
+  require_finite(f, "f");
   if (f < start_frequency_hz || f > end_frequency_hz()) return 0;
   const double s = slope_hz_per_s();
   if (shape == ChirpShape::kSawtooth) {

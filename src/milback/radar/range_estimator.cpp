@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/dsp/peak.hpp"
 #include "milback/util/stats.hpp"
 #include "milback/util/units.hpp"
@@ -26,6 +27,7 @@ std::pair<std::size_t, std::size_t> range_gate(const SubtractionResult& sub,
 
 }  // namespace
 
+// milback-analyze: no-contract(thin wrapper over detect_all(..., 1); inputs validated there)
 std::optional<RangeDetection> estimate_range(const SubtractionResult& sub,
                                              const RangeSpectrum& reference,
                                              const RangeEstimatorConfig& config) {
@@ -38,6 +40,8 @@ std::vector<RangeDetection> detect_all(const SubtractionResult& sub,
                                        const RangeSpectrum& reference,
                                        const RangeEstimatorConfig& config,
                                        std::size_t max_detections) {
+  require_positive(config.detection_threshold_over_median,
+                   "detection_threshold_over_median");
   std::vector<RangeDetection> out;
   if (sub.detection_magnitude.empty()) return out;
   const auto [lo, hi] = range_gate(sub, reference, config);

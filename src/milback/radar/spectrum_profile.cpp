@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/dsp/fft.hpp"
 #include "milback/dsp/peak.hpp"
 #include "milback/dsp/resample.hpp"
@@ -23,6 +24,7 @@ std::optional<double> FrequencyProfile::peak_frequency_hz() const {
 FrequencyProfile reflected_power_profile(
     const std::vector<std::complex<double>>& difference_spectrum, double fs,
     const ChirpConfig& chirp, const ProfileConfig& config) {
+  require_positive(fs, "fs");
   FrequencyProfile out;
   if (difference_spectrum.empty() || config.n_bins < 3) return out;
 

@@ -12,6 +12,7 @@ Amplifier::Amplifier(const AmplifierConfig& config) : config_(config) {
   require_non_negative(config_.noise_figure_db, "noise_figure_db");
 }
 
+// milback-analyze: no-contract(-inf dBm -- zero input power -- is a legitimate input mapping to -inf out)
 double Amplifier::output_power_dbm(double input_dbm) const noexcept {
   const double linear_out_dbm = input_dbm + config_.gain_db;
   if (config_.p1db_out_dbm > 1e8) return linear_out_dbm;  // ideal linear block

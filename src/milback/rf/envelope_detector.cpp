@@ -28,6 +28,7 @@ double EnvelopeDetector::input_power_for_voltage(double v) const noexcept {
 
 std::vector<double> EnvelopeDetector::detect(const std::vector<double>& input_power_w,
                                              double fs, Rng& rng) const {
+  require_positive(fs, "fs");
   // One-pole video filter: tau = 1 / (2*pi*f3dB) seconds -> samples.
   const double tau_samples = fs / (2.0 * kPi * config_.video_bandwidth_hz);
   dsp::OnePoleLowpass lpf(tau_samples);

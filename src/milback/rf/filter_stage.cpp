@@ -17,6 +17,7 @@ BandPassFilter::BandPassFilter(const BandPassConfig& config) : config_(config) {
 }
 
 double BandPassFilter::attenuation_db(double f_hz) const noexcept {
+  require_finite(f_hz, "f_hz");
   const double f = std::abs(f_hz);
   // Cascade of a Butterworth high-pass at f_low and low-pass at f_high.
   const double hp = 1.0 / (1.0 + std::pow(config_.f_low_hz / std::max(f, 1e-9),
@@ -32,6 +33,7 @@ double BandPassFilter::power_gain(double f_hz) const noexcept {
 
 std::vector<double> BandPassFilter::apply(const std::vector<double>& x, double fs,
                                           std::size_t taps) const {
+  require_positive(fs, "fs");
   if (x.empty()) return {};
   const double nyq = fs / 2.0;
   const double f_hi = std::min(config_.f_high_hz, nyq * 0.95);
@@ -44,6 +46,7 @@ std::vector<double> BandPassFilter::apply(const std::vector<double>& x, double f
 
 std::vector<std::complex<double>> BandPassFilter::apply(
     const std::vector<std::complex<double>>& x, double fs, std::size_t taps) const {
+  require_positive(fs, "fs");
   if (x.empty()) return {};
   const double nyq = fs / 2.0;
   const double f_hi = std::min(config_.f_high_hz, nyq * 0.95);

@@ -14,6 +14,7 @@ HornAntenna::HornAntenna(const HornAntennaConfig& config) : config_(config) {
 }
 
 double HornAntenna::gain_dbi(double offset_deg) const noexcept {
+  require_finite(offset_deg, "offset_deg");
   // Gaussian main lobe: -3 dB at +-beamwidth/2.
   const double x = offset_deg / (config_.beamwidth_deg / 2.0);
   const double mainlobe = config_.boresight_gain_dbi - 3.0 * x * x;

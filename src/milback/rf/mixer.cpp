@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/dsp/oscillator.hpp"
 #include "milback/util/units.hpp"
 
@@ -14,6 +15,8 @@ double Mixer::amplitude_scale() const noexcept {
 std::vector<std::complex<double>> Mixer::downconvert(
     const std::vector<std::complex<double>>& rf, double f_lo_offset_hz, double fs,
     double lo_drive_dbm) const {
+  require_finite(f_lo_offset_hz, "f_lo_offset_hz");
+  require_positive(fs, "fs");
   std::vector<std::complex<double>> out(rf.size());
   const double scale = amplitude_scale();
   const double leak_amp =

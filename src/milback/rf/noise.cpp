@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "milback/core/contract.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::rf {
@@ -15,6 +16,7 @@ double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) {
 }
 
 std::vector<double> awgn_real(std::size_t n, double power_w, milback::Rng& rng) {
+  require_finite(power_w, "power_w");
   const double sigma = std::sqrt(std::max(power_w, 0.0));
   std::vector<double> out(n);
   for (auto& v : out) v = rng.gaussian(0.0, sigma);
@@ -23,6 +25,7 @@ std::vector<double> awgn_real(std::size_t n, double power_w, milback::Rng& rng) 
 
 std::vector<std::complex<double>> awgn_complex(std::size_t n, double power_w,
                                                milback::Rng& rng) {
+  require_finite(power_w, "power_w");
   std::vector<std::complex<double>> out(n);
   rng.fill_complex_gaussian(out.data(), out.size(), std::max(power_w, 0.0));
   return out;

@@ -1,5 +1,7 @@
 #include "milback/sim/accumulator.hpp"
 
+#include "milback/core/contract.hpp"
+
 namespace milback::sim {
 
 Accumulator Accumulator::from(std::span<const std::optional<double>> outcomes) {
@@ -12,6 +14,8 @@ Accumulator Accumulator::from(std::span<const std::optional<double>> outcomes) {
       acc.add_miss();
     }
   }
+  MILBACK_ENSURE(acc.samples_.size() + acc.misses_ == outcomes.size(),
+                 "Accumulator::from: every outcome is counted");
   return acc;
 }
 
@@ -39,6 +43,7 @@ std::vector<CdfPoint> Accumulator::cdf() const {
 }
 
 double Accumulator::fraction_below(double x) const noexcept {
+  require_finite(x, "x");
   if (samples_.empty()) return 0.0;
   std::size_t below = 0;
   for (const double v : samples_) below += static_cast<std::size_t>(v <= x);

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "milback/core/contract.hpp"
 #include "milback/sim/trial_runner.hpp"
 
 namespace milback::sim {
@@ -31,6 +32,7 @@ class Sweep {
   /// randomness, no shared mutable state.
   template <typename T, typename Fn>
   std::vector<std::vector<T>> run(const TrialRunner& runner, Fn&& fn) const {
+    require_nonzero(trials_, "Sweep trials_per_point");
     const std::size_t total = points_.size() * trials_;
     auto flat = runner.map<T>(total, [&](std::size_t k) {
       const std::size_t p = k / trials_;

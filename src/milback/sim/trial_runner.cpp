@@ -45,6 +45,7 @@ const SimObs& sim_obs() {
 
 }  // namespace
 
+// milback-analyze: no-contract(any requested value is valid; non-positive means resolve from env/hardware)
 int resolve_thread_count(int requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("MILBACK_SIM_THREADS")) {

@@ -9,7 +9,7 @@ namespace milback {
 
 CsvWriter::CsvWriter(const std::string& dir, const std::string& name,
                      const std::vector<std::string>& header) {
-  width_ = header.size();
+  width_ = require_nonzero(header.size(), "CsvWriter header columns");
   if (dir.empty()) return;
   out_.emplace(dir + "/" + name + ".csv");
   if (!out_->is_open()) {

@@ -60,6 +60,7 @@ class Rng {
   }
 
   /// Random bit vector of length n (for payload generation).
+  // milback-analyze: no-contract(any length is a valid payload, including zero)
   std::vector<bool> bits(std::size_t n) {
     std::vector<bool> out(n);
     for (std::size_t i = 0; i < n; ++i) out[i] = bernoulli(0.5);
@@ -79,6 +80,7 @@ class Rng {
 
   /// SplitMix64 finalizer: a bijective 64-bit mix, the building block of
   /// `stream` derivation. Exposed for tests and seed plumbing.
+  // milback-analyze: no-contract(bijective 64-bit mixer; every input is valid)
   static std::uint64_t mix64(std::uint64_t z) noexcept;
 
   /// Stateless counter-based stream derivation: the returned generator is a
@@ -87,6 +89,7 @@ class Rng {
   /// order or thread count. Distinct id tuples give decorrelated streams;
   /// ids are hashed positionally, so stream(s, 1, 2) != stream(s, 2, 1).
   template <typename... Ids>
+  // milback-analyze: no-contract(total by construction; any (seed, ids...) tuple is a valid stream key)
   static Rng stream(std::uint64_t seed, Ids... ids) {
     static_assert((std::is_integral_v<Ids> && ...),
                   "stream ids must be integers (cast floats explicitly)");

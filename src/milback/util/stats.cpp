@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "milback/core/contract.hpp"
+
 namespace milback {
 
+// milback-analyze: no-contract(total over any sample; empty input is defined to return 0)
 double mean(std::span<const double> xs) noexcept {
   if (xs.empty()) return 0.0;
   double sum = 0.0;
@@ -12,6 +15,7 @@ double mean(std::span<const double> xs) noexcept {
   return sum / double(xs.size());
 }
 
+// milback-analyze: no-contract(total over any sample; fewer than 2 samples is defined to return 0)
 double variance(std::span<const double> xs) noexcept {
   if (xs.size() < 2) return 0.0;
   const double mu = mean(xs);
@@ -22,6 +26,7 @@ double variance(std::span<const double> xs) noexcept {
 
 double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
 
+// milback-analyze: no-contract(total over any sample; empty input is defined to return 0)
 double rms(std::span<const double> xs) noexcept {
   if (xs.empty()) return 0.0;
   double acc = 0.0;
@@ -54,6 +59,7 @@ double sorted_percentile(const std::vector<double>& sorted, double p) {
 }  // namespace
 
 double percentile(std::span<const double> xs, double p) {
+  require_finite(p, "p");
   if (xs.empty()) return 0.0;
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
@@ -62,6 +68,7 @@ double percentile(std::span<const double> xs, double p) {
 
 std::vector<double> percentiles(std::span<const double> xs,
                                 std::span<const double> ps) {
+  for (const double p : ps) require_finite(p, "p");
   if (xs.empty()) return std::vector<double>(ps.size(), 0.0);
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
@@ -86,10 +93,13 @@ std::vector<CdfPoint> empirical_cdf(std::span<const double> xs) {
   for (std::size_t i = 0; i < sorted.size(); ++i) {
     cdf.push_back({sorted[i], double(i + 1) / double(sorted.size())});
   }
+  MILBACK_ENSURE(cdf.size() == xs.size(),
+                 "empirical_cdf: one point per sample");
   return cdf;
 }
 
 void RunningStats::add(double x) noexcept {
+  require_finite(x, "x");
   if (n_ == 0) {
     min_ = max_ = x;
   } else {

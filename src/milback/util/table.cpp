@@ -11,18 +11,21 @@ Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 
 void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
 
+// milback-analyze: no-contract(formatter: non-finite values must render, not abort)
 std::string Table::num(double v, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
 }
 
+// milback-analyze: no-contract(formatter: non-finite values must render, not abort)
 std::string Table::sci(double v, int precision) {
   std::ostringstream os;
   os << std::scientific << std::setprecision(precision) << v;
   return os.str();
 }
 
+// milback-analyze: no-contract(ragged rows are handled by design; nothing numeric to validate)
 void Table::print(std::ostream& os) const {
   std::size_t cols = headers_.size();
   for (const auto& row : rows_) cols = std::max(cols, row.size());

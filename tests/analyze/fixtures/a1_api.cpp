@@ -1,0 +1,14 @@
+// Fixture: the definition has > 2 statements (so the trivial-forwarder
+// exemption does not apply) and no MILBACK_REQUIRE/ENSURE or require_* guard.
+#include "milback/fix/a1_api.hpp"
+
+namespace milback::fix {
+
+double attenuate_db(double level_db, double loss_db) {
+  double out = level_db;
+  out -= loss_db;
+  if (out < -300.0) out = -300.0;
+  return out;
+}
+
+}  // namespace milback::fix

@@ -1,0 +1,9 @@
+// Fixture: wall-clock reached through a type alias outside src/milback/obs/
+// — the textual R5 gate cannot see this; the analyzer resolves the alias.
+#include <chrono>
+
+namespace milback::fix {
+
+using wallclock = std::chrono::steady_clock;  // analyze-expect: A4
+
+}  // namespace milback::fix

@@ -1,0 +1,17 @@
+// Fixture: guarded definition (negative control). Uses an ordered map and
+// sim::Accumulator-free math outside the reduction scopes.
+#include "milback/fix/clean.hpp"
+
+#include "milback/core/contract.hpp"
+
+namespace milback::fix {
+
+double guarded_mean(const std::vector<double>& xs, double scale) {
+  require_finite(scale, "scale");
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return scale * acc / double(xs.size());
+}
+
+}  // namespace milback::fix

@@ -1,0 +1,13 @@
+// Fixture: a fully-guarded public API — the analyzer must report nothing
+// for this pair (negative control for A1..A5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace milback::fix {
+
+/// Mean of the finite samples; the definition guards every scalar input.
+double guarded_mean(const std::vector<double>& xs, double scale);
+
+}  // namespace milback::fix
