@@ -22,6 +22,7 @@
 
 #include "milback/ap/localizer.hpp"
 #include "milback/cell/cell_engine.hpp"
+#include "milback/cell/multi_cell.hpp"
 #include "milback/ap/orientation_sensor.hpp"
 #include "milback/ap/uplink_receiver.hpp"
 #include "milback/core/link.hpp"
@@ -206,6 +207,94 @@ void BM_CellEngine_SessionCell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CellEngine_SessionCell)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Multi-cell engine: sharded campus/city scenarios. Sweep periods are pinned
+// so the work per configuration is a fixed number of service sweeps — these
+// benches measure the SoA/pool/shard machinery at scale, not service detail.
+// The big configurations run one iteration per measurement: a full run is
+// seconds of work, which is sample enough for the 15% regression gate.
+// ---------------------------------------------------------------------------
+
+/// `cells` x `nodes_per_cell` grid campus: reuse-4, every 50th node roams to
+/// the horizontally adjacent AP mid-run.
+cell::MultiCellEngine make_campus(std::size_t cells, std::size_t nodes_per_cell) {
+  Rng env_rng(14);
+  cell::MultiCellConfig cfg;
+  const std::size_t side = std::size_t(std::ceil(std::sqrt(double(cells))));
+  for (std::size_t c = 0; c < cells; ++c) {
+    cfg.aps.push_back({40.0 * double(c % side), 40.0 * double(c / side)});
+  }
+  cfg.coverage_radius_m = 15.0;
+  cfg.epoch_s = 0.05;
+  cfg.frequency_channels = 4;
+  cfg.cell.service_period_s = 0.05;
+  cell::MultiCellEngine engine(
+      channel::BackscatterChannel::make_default(
+          channel::Environment::indoor_office(env_rng)),
+      std::move(cfg));
+  engine.reserve_nodes(nodes_per_cell);
+  const std::size_t total = cells * nodes_per_cell;
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::size_t home = i % cells;
+    const double hx = 40.0 * double(home % side);
+    const double hy = 40.0 * double(home / side);
+    const double px = hx + 0.5 + 0.05 * double(i % 37);
+    const double py = hy + 0.07 * double(i % 41) - 1.5;
+    const double orient = -20.0 + 1.7 * double(i % 25);
+    engine.add_node("n" + std::to_string(i), {px, py, orient},
+                    5e3 + 1e3 * double(i % 3));
+    if (i % 50 == 7 && cells > 1) {
+      const double tx = (home % side == 0) ? hx + 37.0 : hx - 37.0;
+      engine.schedule_waypoint(i, 0.06, {tx, py, orient});
+    }
+  }
+  return engine;
+}
+
+void BM_MultiCell_4x1k(benchmark::State& state) {
+  for (auto _ : state) {
+    auto engine = make_campus(4, 1000);
+    auto report = engine.run(0.1, 91);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_MultiCell_4x1k)->Unit(benchmark::kMillisecond);
+
+void BM_MultiCell_16x10k(benchmark::State& state) {
+  for (auto _ : state) {
+    auto engine = make_campus(16, 10000);
+    auto report = engine.run(0.1, 92);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_MultiCell_16x10k)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_MultiCell_Campus100k(benchmark::State& state) {
+  for (auto _ : state) {
+    auto engine = make_campus(25, 4000);
+    auto report = engine.run(0.1, 93);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_MultiCell_Campus100k)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_MultiCell_MemoryPerNode(benchmark::State& state) {
+  // The committed per-node byte budget (README "Campus-scale scenarios"):
+  // simulation state of the 16 x 10k campus after a full run, divided by
+  // the population. Covers node columns, pooled chunk/latency chains and
+  // the pooled event queues; the global id table (one interned name per
+  // unique node id process-wide) is shared state outside the budget.
+  double bytes_per_node = 0.0;
+  for (auto _ : state) {
+    auto engine = make_campus(16, 10000);
+    auto report = engine.run(0.1, 94);
+    benchmark::DoNotOptimize(report);
+    bytes_per_node = double(engine.memory_bytes()) / double(16 * 10000);
+  }
+  state.counters["bytes_per_node"] = bytes_per_node;
+}
+BENCHMARK(BM_MultiCell_MemoryPerNode)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // Observability overhead. The instrumented engines above all run with

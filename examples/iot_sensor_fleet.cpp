@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
   Table ft({"sensor", "joined (s)", "rounds served", "delivered (kbit)",
             "service rate"});
   for (const auto& n : fr.nodes) {
-    ft.add_row({n.id, Table::num(n.join_time_s, 2), std::to_string(n.rounds_served),
+    ft.add_row({std::string(n.id.view()), Table::num(n.join_time_s, 2), std::to_string(n.rounds_served),
                 Table::num(n.delivered_bits / 1e3, 1),
                 n.service_rate_bps > 0.0
                     ? Table::num(n.service_rate_bps / 1e6, 0) + " Mbps"

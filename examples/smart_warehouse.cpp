@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
   Table s({"tag", "alive", "rounds served", "offered (kbit)", "delivered (kbit)",
            "p50 latency (ms)", "p95 latency (ms)"});
   for (const auto& n : report.nodes) {
-    s.add_row({n.id, n.leave_time_s >= 0.0 ? "left" : "yes",
+    s.add_row({std::string(n.id.view()), n.leave_time_s >= 0.0 ? "left" : "yes",
                std::to_string(n.rounds_served), Table::num(n.offered_bits / 1e3, 1),
                Table::num(n.delivered_bits / 1e3, 1),
                Table::num(n.p50_latency_s * 1e3, 2),

@@ -6,8 +6,11 @@ Usage:
 
 Benchmarks are matched by name; a benchmark is a regression when its cpu_time
 exceeds the baseline by more than the tolerance (default 15%). Exit status is
-non-zero if any benchmark regresses. Benchmarks present on only one side are
-reported but do not fail the comparison (new kernels appear, old ones retire).
+non-zero if any benchmark regresses. Run-only benchmarks are reported as new
+and do not fail (they get a baseline entry on the next regeneration); a
+baseline entry missing from the run DOES fail — a silently dropped or renamed
+benchmark would otherwise retire its regression coverage unnoticed. Retire a
+benchmark on purpose by regenerating the baseline in the same change.
 """
 
 from __future__ import annotations
@@ -75,13 +78,18 @@ def main() -> int:
         print(f"  {marker} {name:45s} {fmt_ns(baseline[name]):>10s} -> "
               f"{fmt_ns(current[name]):>10s}  ({delta:+.1f}%)")
 
-    for name in sorted(set(baseline) - set(current)):
-        print(f"  ? {name}: in baseline only (retired?)")
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        print(f"  ! {name}: in baseline but missing from the run")
     for name in sorted(set(current) - set(baseline)):
         print(f"  + {name}: new benchmark, no baseline")
 
     if not shared:
         print("bench_compare: no shared benchmark names between reports")
+        return 1
+    if missing:
+        print(f"\nbench_compare: FAIL — {len(missing)} baseline benchmark(s) "
+              f"missing from the run (regenerate the baseline to retire them)")
         return 1
     if regressions:
         print(f"\nbench_compare: FAIL — {len(regressions)} benchmark(s) regressed "

@@ -21,7 +21,10 @@ qualified names:
       loop declares induction variables, at least one must appear in the
       key); (c) `.fork()` reached through an alias of `Rng` is caught where
       R6's textual rule cannot see it (computed labels in bench/, any fork in
-      the stream-only layers src/milback/{cell,sim}/).
+      the stream-only layers src/milback/{cell,sim}/); (d) a function that
+      returns `Rng` by value is a stream-mint wrapper (the cell engine's
+      `event_stream(node, seq)` is the archetype) — call sites inside loops
+      inherit (b)'s varying-key rule.
   A4  clock/thread discipline through aliases: `std::chrono` (outside
       src/milback/obs/) and `std::thread`/`std::jthread`/`std::async`
       (outside src/milback/sim/) reached via `using`-aliases, typedefs,
@@ -1294,6 +1297,19 @@ def check_a2(model):
 
 def check_a3(model):
     findings = []
+    # (d)'s wrapper registry: a function returning Rng BY VALUE mints a fresh
+    # stream from its arguments (the cell engine's event_stream(node, seq) is
+    # the archetype) — its call sites inherit Rng::stream's loop-keying rule.
+    # Rng's own factories (stream, fork) are handled by (b)/(c).
+    stream_wrappers = set()
+    for f in model.funcs:
+        if f.file.startswith("src/milback/util/rng."):
+            continue
+        if f.name in ("stream", "fork"):
+            continue
+        ret = model.canon(f.ret_type)
+        if ret.endswith("Rng") and "&" not in f.ret_type and "*" not in f.ret_type:
+            stream_wrappers.add(f.name)
     # (a) stored Rng references/pointers escape their scope.
     for cls, name, raw, file, line in model.member_decls:
         if not (file.startswith("src/") or file.startswith("bench/")):
@@ -1354,6 +1370,30 @@ def check_a3(model):
                         "Rng::stream key never varies with the enclosing"
                         f" loop (loop vars: {', '.join(sorted(lvars))}) —"
                         " iterations share one stream; include the loop's"
+                        " entity id in the key"))
+            # (d) stream-like wrapper calls inside loops: same keying rule as
+            # Rng::stream — a key that never varies per iteration hands every
+            # iteration the same stream.
+            if c.name() in stream_wrappers and c.loop is not None:
+                lvars = c.loop.all_vars()
+                arg_ids = {t.val for a in c.args for t in a if t.kind == "id"}
+
+                def wrapper_varies(name):
+                    if name in lvars:
+                        return True
+                    dl = f.local_lines.get(name)
+                    if dl is not None and c.loop.spans_line(dl):
+                        return True
+                    return any(c.loop.spans_line(ml)
+                               for ml in f.mutated.get(name, ()))
+
+                if lvars and not any(wrapper_varies(a) for a in arg_ids):
+                    findings.append(Finding(
+                        "A3", f.file, c.line,
+                        f"stream wrapper `{c.name()}` (returns Rng by value)"
+                        " called with a key that never varies with the"
+                        f" enclosing loop (loop vars: {', '.join(sorted(lvars))})"
+                        " — iterations share one stream; include the loop's"
                         " entity id in the key"))
             # (c) fork() through aliases.
             if c.name() == "fork" and len(c.chain) >= 3 and c.chain[-2] in (".", "->"):

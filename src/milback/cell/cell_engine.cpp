@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <utility>
 
 #include "milback/core/contract.hpp"
@@ -19,12 +21,19 @@ constexpr obs::HistogramSpec kRateSpec{1e3, 1.5, 40};         // 1 kbps .. ~10 G
 constexpr obs::HistogramSpec kSnrSpec{0.25, 1.15, 50};        // 0.25 .. ~270 dB
 constexpr obs::HistogramSpec kPopulationSpec{1.0, 1.3, 40};   // 1 .. ~36k nodes
 
-// Cell-wide metric handles, interned once per process. Everything here is
-// kSim: recording happens only on the event-loop thread, in event order, so
-// the merged values are a pure function of (scenario, seed).
+}  // namespace
+
+// Cell-wide metric handles, interned once per label. A standalone engine
+// (cell_index < 0) uses the unlabeled "cell.*" names — byte-identical
+// exports with PR 4/5. A sharded engine labels its metrics "cell.c<k>.*" so
+// sibling cells running on different TrialRunner workers never contend for
+// (or double-count into) one metric. Everything here is kSim: counters and
+// histograms merge exactly across threads, and the one gauge is written
+// only from deterministic single-writer contexts (see dispatch()).
 struct CellObs {
   obs::Counter ev_join, ev_leave, ev_move, ev_arrival, ev_service;
   obs::Counter ev_blockage_start, ev_blockage_end;
+  obs::Counter ev_handoff_in, ev_handoff_out;
   obs::Counter runs, sweeps, sweeps_skipped_nodes;
   obs::Gauge queue_depth;
   obs::Histogram latency_s, service_rate_bps, session_snr_db, sweep_population;
@@ -32,30 +41,46 @@ struct CellObs {
   std::uint32_t blockage_span = 0;
 };
 
-const CellObs& cell_obs() {
-  static const CellObs instance = [] {
-    auto& r = obs::Registry::global();
-    CellObs o;
-    o.ev_join = r.counter("cell.events.join");
-    o.ev_leave = r.counter("cell.events.leave");
-    o.ev_move = r.counter("cell.events.move");
-    o.ev_arrival = r.counter("cell.events.arrival");
-    o.ev_service = r.counter("cell.events.service");
-    o.ev_blockage_start = r.counter("cell.events.blockage_start");
-    o.ev_blockage_end = r.counter("cell.events.blockage_end");
-    o.runs = r.counter("cell.runs");
-    o.sweeps = r.counter("cell.sweeps");
-    o.sweeps_skipped_nodes = r.counter("cell.sweeps.skipped_nodes");
-    o.queue_depth = r.gauge("cell.queue_depth");
-    o.latency_s = r.histogram("cell.latency_s", kLatencySpec);
-    o.service_rate_bps = r.histogram("cell.service_rate_bps", kRateSpec);
-    o.session_snr_db = r.histogram("cell.session_snr_db", kSnrSpec);
-    o.sweep_population = r.histogram("cell.sweep_population", kPopulationSpec);
-    o.sweep_span = r.trace_name("cell.sweep");
-    o.blockage_span = r.trace_name("cell.blockage");
-    return o;
-  }();
-  return instance;
+namespace {
+
+CellObs make_cell_obs(const std::string& prefix) {
+  auto& r = obs::Registry::global();
+  CellObs o;
+  o.ev_join = r.counter(prefix + "events.join");
+  o.ev_leave = r.counter(prefix + "events.leave");
+  o.ev_move = r.counter(prefix + "events.move");
+  o.ev_arrival = r.counter(prefix + "events.arrival");
+  o.ev_service = r.counter(prefix + "events.service");
+  o.ev_blockage_start = r.counter(prefix + "events.blockage_start");
+  o.ev_blockage_end = r.counter(prefix + "events.blockage_end");
+  o.ev_handoff_in = r.counter(prefix + "events.handoff_in");
+  o.ev_handoff_out = r.counter(prefix + "events.handoff_out");
+  o.runs = r.counter(prefix + "runs");
+  o.sweeps = r.counter(prefix + "sweeps");
+  o.sweeps_skipped_nodes = r.counter(prefix + "sweeps.skipped_nodes");
+  o.queue_depth = r.gauge(prefix + "queue_depth");
+  o.latency_s = r.histogram(prefix + "latency_s", kLatencySpec);
+  o.service_rate_bps = r.histogram(prefix + "service_rate_bps", kRateSpec);
+  o.session_snr_db = r.histogram(prefix + "session_snr_db", kSnrSpec);
+  o.sweep_population = r.histogram(prefix + "sweep_population", kPopulationSpec);
+  o.sweep_span = r.trace_name(prefix + "sweep");
+  o.blockage_span = r.trace_name(prefix + "blockage");
+  return o;
+}
+
+// Handles per label, interned lazily. std::map: node-based, so the
+// references engines hold stay valid as new labels appear.
+const CellObs& cell_obs(std::int64_t cell_index) {
+  static std::mutex mutex;
+  static std::map<std::int64_t, CellObs> cache;
+  std::lock_guard lock(mutex);
+  auto it = cache.find(cell_index);
+  if (it == cache.end()) {
+    const std::string prefix =
+        cell_index < 0 ? "cell." : "cell.c" + std::to_string(cell_index) + ".";
+    it = cache.emplace(cell_index, make_cell_obs(prefix)).first;
+  }
+  return it->second;
 }
 
 }  // namespace
@@ -63,27 +88,17 @@ const CellObs& cell_obs() {
 CellEngine::CellEngine(channel::BackscatterChannel channel, CellConfig config)
     : config_(config),
       link_(std::move(channel), config.network.link),
+      obs_(&cell_obs(config.cell_index)),
       payload_bits_(double(config.payload_symbols) * 2.0) {}
 
 std::size_t CellEngine::add_node(std::string id, const core::TrafficSpec& spec,
                                  double join_time_s) {
   MILBACK_REQUIRE(!ran_, "CellEngine::add_node: engine already ran");
   require_finite(join_time_s, "join_time_s");
-  NodeState n;
-  n.id = std::move(id);
-  n.spec = spec;
-  n.join_time_s = std::max(join_time_s, 0.0);
-  n.alive = join_time_s <= 0.0;
-  if (obs::metrics_enabled()) {
-    // Per-node metric names are only built (and interned) when telemetry is
-    // live at registration; the handles stay inert otherwise.
-    auto& r = obs::Registry::global();
-    n.obs_latency = r.histogram("cell.node." + n.id + ".latency_s", kLatencySpec);
-    n.obs_snr = r.histogram("cell.node." + n.id + ".snr_db", kSnrSpec);
-    n.obs_drops = r.counter("cell.node." + n.id + ".sweeps_skipped");
-  }
-  nodes_.push_back(std::move(n));
-  const std::size_t index = nodes_.size() - 1;
+  const NodeId nid = IdTable::global().intern(id);
+  const std::size_t index =
+      nodes_.add(nid, spec, std::max(join_time_s, 0.0), join_time_s <= 0.0);
+  register_node_metrics(index);
   if (join_time_s > 0.0) {
     queue_.push(Event{.time_s = join_time_s,
                       .priority = kPriorityChurn,
@@ -91,6 +106,23 @@ std::size_t CellEngine::add_node(std::string id, const core::TrafficSpec& spec,
                       .node = index});
   }
   return index;
+}
+
+void CellEngine::register_node_metrics(std::size_t i) {
+  // Per-node metric names are only built (and interned) when telemetry is
+  // live at registration; the handles stay inert otherwise. Names carry the
+  // node id, not the cell label: a node keeps its metrics across handoffs.
+  if (!obs::metrics_enabled()) return;
+  auto& r = obs::Registry::global();
+  // First live registration sizes the lazy handle columns (earlier rows get
+  // inert handles — they were added with telemetry off).
+  nodes_.obs_latency.resize(nodes_.size());
+  nodes_.obs_snr.resize(nodes_.size());
+  nodes_.obs_drops.resize(nodes_.size());
+  const std::string id(nodes_.id[i].view());
+  nodes_.obs_latency[i] = r.histogram("cell.node." + id + ".latency_s", kLatencySpec);
+  nodes_.obs_snr[i] = r.histogram("cell.node." + id + ".snr_db", kSnrSpec);
+  nodes_.obs_drops[i] = r.counter("cell.node." + id + ".sweeps_skipped");
 }
 
 void CellEngine::schedule_leave(std::size_t node, double time_s) {
@@ -123,48 +155,69 @@ void CellEngine::schedule_blockage(double start_s, double end_s, double loss_db)
                     .kind = EventKind::kBlockageEnd});
 }
 
-const std::string& CellEngine::node_id(std::size_t i) const {
+NodeId CellEngine::node_id(std::size_t i) const {
   MILBACK_REQUIRE(i < nodes_.size(), "node_id: index out of range");
-  return nodes_[i].id;
+  return nodes_.id[i];
 }
 
 const channel::NodePose& CellEngine::node_pose(std::size_t i) const {
   MILBACK_REQUIRE(i < nodes_.size(), "node_pose: index out of range");
-  return nodes_[i].spec.pose;
+  return nodes_.pose[i];
 }
 
 bool CellEngine::node_alive(std::size_t i) const {
   MILBACK_REQUIRE(i < nodes_.size(), "node_alive: index out of range");
-  return nodes_[i].alive;
+  return nodes_.alive[i] != 0;
+}
+
+double CellEngine::node_join_time_s(std::size_t i) const {
+  MILBACK_REQUIRE(i < nodes_.size(), "node_join_time_s: index out of range");
+  return nodes_.join_time_s[i];
 }
 
 std::size_t CellEngine::population() const noexcept {
   std::size_t alive = 0;
-  for (const auto& n : nodes_) alive += n.alive ? 1 : 0;
+  for (const auto a : nodes_.alive) alive += a ? 1 : 0;
   return alive;
+}
+
+std::size_t CellEngine::memory_bytes() const noexcept {
+  return sizeof(*this) + nodes_.allocated_bytes() + queue_.allocated_bytes();
 }
 
 std::vector<std::size_t> CellEngine::alive_indices() const {
   std::vector<std::size_t> out;
   out.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].alive) out.push_back(i);
+    if (nodes_.alive[i]) out.push_back(i);
   }
   return out;
 }
 
-void CellEngine::ensure_session(NodeState& n) {
-  if (!config_.run_sessions || n.session.has_value()) return;
-  // The session gets its own channel copy carrying the current blockage
-  // state; subsequent episodes are propagated by apply_blockage.
-  n.session.emplace(link_.channel(), config_.session);
+void CellEngine::ensure_session(std::size_t i) {
+  if (!config_.run_sessions) return;
+  if (nodes_.session.size() < nodes_.size()) nodes_.session.resize(nodes_.size());
+  if (nodes_.session[i].has_value()) return;
+  // The session gets its own channel copy carrying the current blockage +
+  // interference state; later changes are propagated by apply_channel_loss.
+  nodes_.session[i].emplace(link_.channel(), config_.session);
 }
 
-void CellEngine::apply_blockage(double loss_db) {
+void CellEngine::apply_channel_loss() {
+  // Blockage episodes and co-channel interference fold into the same
+  // one-way loss term of the link budget.
+  const double loss_db = blockage_db_ + external_db_;
   link_.channel().config().blockage_loss_db = loss_db;
-  for (auto& n : nodes_) {
-    if (n.session) n.session->link().channel().config().blockage_loss_db = loss_db;
+  for (auto& s : nodes_.session) {
+    if (s) s->link().channel().config().blockage_loss_db = loss_db;
   }
+}
+
+void CellEngine::set_external_interference_db(double loss_db) {
+  require_finite(loss_db, "external interference loss_db");
+  require_non_negative(loss_db, "external interference loss_db");
+  external_db_ = loss_db;
+  apply_channel_loss();
 }
 
 void CellEngine::wake_service(double time_s) {
@@ -176,67 +229,74 @@ void CellEngine::wake_service(double time_s) {
   service_scheduled_ = true;
 }
 
+Rng CellEngine::event_stream(std::uint64_t node, std::uint64_t event_seq) const {
+  MILBACK_REQUIRE(running_, "event_stream: only meaningful mid-run");
+  if (config_.cell_index >= 0) {
+    // Sharded: widen the key with the cell index so sibling cells sharing
+    // one seed draw decorrelated streams.
+    return Rng::stream(seed_, std::uint64_t(config_.cell_index), node, event_seq);
+  }
+  return Rng::stream(seed_, node, event_seq);
+}
+
 void CellEngine::dispatch_join(const Event& e) {
-  auto& n = nodes_[e.node];
-  n.alive = true;
-  ensure_session(n);
+  nodes_.alive[e.node] = 1;
+  ensure_session(e.node);
   peak_population_ = std::max(peak_population_, population());
   wake_service(e.time_s);
 }
 
-void CellEngine::dispatch_arrival(const Event& e, std::uint64_t seed) {
-  auto& n = nodes_[e.node];
-  if (!n.alive) return;  // left before the arrival landed
+void CellEngine::dispatch_arrival(const Event& e) {
+  if (!nodes_.alive[e.node]) return;  // left before the arrival landed
   const double period_s = e.value;
-  const double mean_bits = n.spec.arrival_rate_bps * period_s;
-  auto rng = Rng::stream(seed, std::uint64_t{e.node}, e.seq);
+  const double mean_bits = nodes_.arrival_rate_bps[e.node] * period_s;
+  auto rng = event_stream(std::uint64_t{e.node}, e.seq);
+  const double burst = nodes_.burstiness[e.node];
   const double jitter =
-      n.spec.burstiness > 0.0
-          ? std::max(0.0, 1.0 + n.spec.burstiness * rng.gaussian(0.0, 0.5))
-          : 1.0;
+      burst > 0.0 ? std::max(0.0, 1.0 + burst * rng.gaussian(0.0, 0.5)) : 1.0;
   const double bits = mean_bits * jitter;
   if (bits <= 0.0) return;
-  n.queue.push_back({bits, e.time_s});
-  n.queued_bits += bits;
-  n.offered_bits += bits;
-  n.peak_queue_bits = std::max(n.peak_queue_bits, n.queued_bits);
+  nodes_.push_chunk(e.node, bits, e.time_s);
+  nodes_.queued_bits[e.node] += bits;
+  nodes_.offered_bits[e.node] += bits;
+  nodes_.peak_queue_bits[e.node] =
+      std::max(nodes_.peak_queue_bits[e.node], nodes_.queued_bits[e.node]);
 }
 
-void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
-                                  double duration_s,
-                                  const sim::TrialRunner& runner,
-                                  CellReport& report) {
+void CellEngine::dispatch_service(const Event& e) {
   service_scheduled_ = false;
   const auto alive = alive_indices();
   if (alive.empty()) return;  // a later join re-wakes the sweep
 
   // Rate recomputation fans out on the TrialRunner: each trial touches only
-  // its own node and derives randomness from (seed, node, event seq), so the
-  // sweep is thread-count invariant.
+  // its own node and derives randomness from (seed[, cell], node, event
+  // seq), so the sweep is thread-count invariant.
+  const sim::TrialRunner runner(config_.sweep_threads);
   std::vector<core::SessionStep> steps;
   if (config_.run_sessions) {
     steps = runner.map<core::SessionStep>(alive.size(), [&](std::size_t k) {
-      auto& n = nodes_[alive[k]];
-      auto rng = Rng::stream(seed, std::uint64_t{alive[k]}, e.seq);
-      return n.session->step(n.spec.pose, rng);
+      auto rng = event_stream(std::uint64_t{alive[k]}, e.seq);
+      return nodes_.session[alive[k]]->step(nodes_.pose[alive[k]], rng);
     });
     for (std::size_t k = 0; k < alive.size(); ++k) {
-      nodes_[alive[k]].rate_bps =
+      nodes_.rate_bps[alive[k]] =
           steps[k].state == core::SessionState::kTracking
               ? steps[k].uplink_rate_bps
               : 0.0;
       if (steps[k].localized) {
-        cell_obs().session_snr_db.record(steps[k].budget_snr_db);
-        nodes_[alive[k]].obs_snr.record(steps[k].budget_snr_db);
+        obs_->session_snr_db.record(steps[k].budget_snr_db);
+        if (!nodes_.obs_snr.empty()) {
+          nodes_.obs_snr[alive[k]].record(steps[k].budget_snr_db);
+        }
       }
     }
   } else {
     const auto rates = runner.map<double>(alive.size(), [&](std::size_t k) {
-      return probe_service_rate_bps(link_.channel(), nodes_[alive[k]].spec.pose,
+      return probe_service_rate_bps(link_.channel(), nodes_.pose[alive[k]],
                                     config_.rate);
     });
     for (std::size_t k = 0; k < alive.size(); ++k) {
-      nodes_[alive[k]].rate_bps = rates[k];
+      nodes_.rate_bps[alive[k]] = rates[k];
     }
   }
 
@@ -244,19 +304,19 @@ void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
   // slot, each slot lasting as long as its slowest member's packet.
   std::vector<channel::NodePose> poses;
   poses.reserve(alive.size());
-  for (const auto i : alive) poses.push_back(nodes_[i].spec.pose);
+  for (const auto i : alive) poses.push_back(nodes_.pose[i]);
   const auto slots =
       sdm_partition(poses, config_.network.sdm_min_separation_deg);
   double derived_period_s = 0.0;
   for (const auto& slot : slots) {
     double slot_time_s = 0.0;
     for (const auto k : slot) {
-      const auto& n = nodes_[alive[k]];
-      if (n.rate_bps <= 0.0) continue;
+      const double rate_bps = nodes_.rate_bps[alive[k]];
+      if (rate_bps <= 0.0) continue;
       const auto timing = core::compute_timing(
           core::PacketConfig{.preamble = {},
                              .payload_symbols = config_.payload_symbols},
-          core::LinkDirection::kUplink, n.rate_bps / 2.0);
+          core::LinkDirection::kUplink, rate_bps / 2.0);
       slot_time_s = std::max(slot_time_s, timing.total_s);
     }
     // milback-analyze: no-reduction(serial event-handler loop in deterministic slot-major order; single thread by construction)
@@ -266,57 +326,57 @@ void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
       config_.service_period_s > 0.0 ? config_.service_period_s : derived_period_s;
   if (period_s <= 0.0) return;  // nobody servable; churn re-wakes the sweep
 
-  const std::size_t round = report.service_rounds;
-  report.service_rounds += 1;
-  cell_obs().sweeps.add();
-  cell_obs().sweep_population.record(double(alive.size()));
+  const std::size_t round = report_.service_rounds;
+  report_.service_rounds += 1;
+  obs_->sweeps.add();
+  obs_->sweep_population.record(double(alive.size()));
   for (const auto i : alive) {
-    if (nodes_[i].rate_bps > 0.0) {
-      cell_obs().service_rate_bps.record(nodes_[i].rate_bps);
+    if (nodes_.rate_bps[i] > 0.0) {
+      obs_->service_rate_bps.record(nodes_.rate_bps[i]);
     } else {
-      cell_obs().sweeps_skipped_nodes.add();
-      nodes_[i].obs_drops.add();
+      obs_->sweeps_skipped_nodes.add();
+      if (!nodes_.obs_drops.empty()) nodes_.obs_drops[i].add();
     }
   }
   // The sweep span covers the service window [start, start + period] in sim
   // seconds — the same interval the drained chunks' latencies close against.
-  obs::Span sweep_span(cell_obs().sweep_span, e.time_s,
+  obs::Span sweep_span(obs_->sweep_span, e.time_s,
                        obs::trace_lane(obs::kLaneCell));
   last_period_s_ = period_s;
   double capacity_bps = 0.0;
   for (const auto i : alive) {
     // milback-analyze: no-reduction(serial event-handler loop in deterministic slot-major order; single thread by construction)
-    if (nodes_[i].rate_bps > 0.0) capacity_bps += payload_bits_ / period_s;
+    if (nodes_.rate_bps[i] > 0.0) capacity_bps += payload_bits_ / period_s;
   }
-  report.cell_capacity_bps = capacity_bps;
+  report_.cell_capacity_bps = capacity_bps;
 
   // Drain: one packet per reachable node per sweep, slot-major.
   std::vector<double> drained(alive.size(), 0.0);
   const double service_done_s = e.time_s + period_s;
   for (const auto& slot : slots) {
     for (const auto k : slot) {
-      auto& n = nodes_[alive[k]];
-      if (n.rate_bps <= 0.0) continue;
-      n.rounds_served += 1;
+      const std::size_t i = alive[k];
+      if (nodes_.rate_bps[i] <= 0.0) continue;
+      nodes_.rounds_served[i] += 1;
       double budget = payload_bits_;
       // milback-analyze: no-reduction(serial FIFO drain in deterministic queue order; single thread by construction)
-      while (budget > 0.0 && !n.queue.empty()) {
-        auto& chunk = n.queue.front();
+      while (budget > 0.0 && !nodes_.queue_empty(i)) {
+        auto& chunk = nodes_.front_chunk(i);
         const double take = std::min(chunk.bits, budget);
         chunk.bits -= take;
         // milback-analyze: no-reduction(serial FIFO drain in deterministic queue order; single thread by construction)
         budget -= take;
         // milback-analyze: no-reduction(serial FIFO drain in deterministic queue order; single thread by construction)
-        n.queued_bits -= take;
+        nodes_.queued_bits[i] -= take;
         // milback-analyze: no-reduction(serial FIFO drain in deterministic queue order; single thread by construction)
-        n.delivered_bits += take;
+        nodes_.delivered_bits[i] += take;
         drained[k] += take;
         if (chunk.bits <= 1e-9) {
           const double latency_s = service_done_s - chunk.arrival_s;
-          n.latencies_s.push_back(latency_s);
-          cell_obs().latency_s.record(latency_s);
-          n.obs_latency.record(latency_s);
-          n.queue.pop_front();
+          nodes_.push_latency(i, latency_s);
+          obs_->latency_s.record(latency_s);
+          if (!nodes_.obs_latency.empty()) nodes_.obs_latency[i].record(latency_s);
+          nodes_.pop_front_chunk(i);
         }
       }
     }
@@ -325,15 +385,15 @@ void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
 
   if (observer_) {
     for (std::size_t k = 0; k < alive.size(); ++k) {
-      const auto& n = nodes_[alive[k]];
+      const std::size_t i = alive[k];
       ServiceObservation obs;
       obs.time_s = e.time_s;
       obs.round = round;
-      obs.node = alive[k];
-      obs.id = n.id;
-      obs.rate_bps = n.rate_bps;
+      obs.node = i;
+      obs.id = nodes_.id[i];
+      obs.rate_bps = nodes_.rate_bps[i];
       obs.drained_bits = drained[k];
-      obs.queued_bits = n.queued_bits;
+      obs.queued_bits = nodes_.queued_bits[i];
       if (config_.run_sessions) {
         obs.has_session = true;
         obs.session = steps[k];
@@ -343,9 +403,9 @@ void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
   }
 
   // Next sweep and its arrivals (current-period estimate for the window).
-  if (service_done_s < duration_s) {
+  if (service_done_s < duration_s_) {
     for (const auto i : alive) {
-      if (nodes_[i].spec.arrival_rate_bps <= 0.0) continue;
+      if (nodes_.arrival_rate_bps[i] <= 0.0) continue;
       queue_.push(Event{.time_s = service_done_s,
                         .priority = kPriorityArrival,
                         .kind = EventKind::kArrival,
@@ -356,20 +416,21 @@ void CellEngine::dispatch_service(const Event& e, std::uint64_t seed,
   }
 }
 
-CellReport CellEngine::run(double duration_s, std::uint64_t seed) {
+void CellEngine::begin(double duration_s, std::uint64_t seed) {
   MILBACK_REQUIRE(!ran_, "CellEngine::run is single-shot; build a fresh engine");
   require_positive(duration_s, "duration_s");
   MILBACK_REQUIRE(!config_.run_sessions || config_.service_period_s > 0.0,
                   "CellEngine: run_sessions requires a pinned service_period_s "
                   "(acquisition needs sweeps before any rate is known)");
   ran_ = true;
+  running_ = true;
+  duration_s_ = duration_s;
+  seed_ = seed;
+  report_ = CellReport{};
+  report_.duration_s = duration_s;
 
-  CellReport report;
-  report.duration_s = duration_s;
-  const sim::TrialRunner runner;
-
-  for (auto& n : nodes_) {
-    if (n.alive) ensure_session(n);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_.alive[i]) ensure_session(i);
   }
   peak_population_ = population();
 
@@ -382,21 +443,21 @@ CellReport CellEngine::run(double duration_s, std::uint64_t seed) {
     std::vector<channel::NodePose> poses;
     poses.reserve(alive.size());
     for (const auto i : alive) {
-      nodes_[i].rate_bps =
-          probe_service_rate_bps(link_.channel(), nodes_[i].spec.pose, config_.rate);
-      poses.push_back(nodes_[i].spec.pose);
+      nodes_.rate_bps[i] =
+          probe_service_rate_bps(link_.channel(), nodes_.pose[i], config_.rate);
+      poses.push_back(nodes_.pose[i]);
     }
     const auto slots =
         sdm_partition(poses, config_.network.sdm_min_separation_deg);
     for (const auto& slot : slots) {
       double slot_time_s = 0.0;
       for (const auto k : slot) {
-        const auto& n = nodes_[alive[k]];
-        if (n.rate_bps <= 0.0) continue;
+        const double rate_bps = nodes_.rate_bps[alive[k]];
+        if (rate_bps <= 0.0) continue;
         const auto timing = core::compute_timing(
             core::PacketConfig{.preamble = {},
                                .payload_symbols = config_.payload_symbols},
-            core::LinkDirection::kUplink, n.rate_bps / 2.0);
+            core::LinkDirection::kUplink, rate_bps / 2.0);
         slot_time_s = std::max(slot_time_s, timing.total_s);
       }
   // milback-analyze: no-reduction(serial event-handler loop in deterministic slot-major order; single thread by construction)
@@ -405,7 +466,7 @@ CellReport CellEngine::run(double duration_s, std::uint64_t seed) {
   }
   if (hint_s > 0.0) {
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (!nodes_[i].alive || nodes_[i].spec.arrival_rate_bps <= 0.0) continue;
+      if (!nodes_.alive[i] || nodes_.arrival_rate_bps[i] <= 0.0) continue;
       queue_.push(Event{.time_s = 0.0,
                         .priority = kPriorityArrival,
                         .kind = EventKind::kArrival,
@@ -414,83 +475,148 @@ CellReport CellEngine::run(double duration_s, std::uint64_t seed) {
     }
     wake_service(0.0);
   }
+  obs_->runs.add();
+}
 
-  cell_obs().runs.add();
-  while (!queue_.empty() && queue_.top().time_s < duration_s) {
-    const Event e = queue_.pop();
-    report.events_dispatched += 1;
-    switch (e.kind) {
-      case EventKind::kJoin:
-        cell_obs().ev_join.add();
-        dispatch_join(e);
-        break;
-      case EventKind::kLeave:
-        cell_obs().ev_leave.add();
-        nodes_[e.node].alive = false;
-        nodes_[e.node].leave_time_s = e.time_s;
-        break;
-      case EventKind::kMove:
-        cell_obs().ev_move.add();
-        nodes_[e.node].spec.pose = e.pose;
-        if (nodes_[e.node].alive) wake_service(e.time_s);
-        break;
-      case EventKind::kArrival:
-        cell_obs().ev_arrival.add();
-        dispatch_arrival(e, seed);
-        break;
-      case EventKind::kService:
-        cell_obs().ev_service.add();
-        dispatch_service(e, seed, duration_s, runner, report);
-        break;
-      case EventKind::kBlockageStart:
-        cell_obs().ev_blockage_start.add();
-        blockage_span_ = obs::Span(cell_obs().blockage_span, e.time_s,
-                                   obs::trace_lane(obs::kLaneCell, 1));
-        apply_blockage(e.value);
-        break;
-      case EventKind::kBlockageEnd:
-        cell_obs().ev_blockage_end.add();
-        blockage_span_.end(e.time_s);
-        apply_blockage(0.0);
-        if (population() > 0) wake_service(e.time_s);
-        break;
-    }
-    // Post-dispatch backlog of the event queue (single-threaded, so the
-    // last-write value is deterministic).
-    cell_obs().queue_depth.set(double(queue_.size()));
+void CellEngine::dispatch(const Event& e) {
+  report_.events_dispatched += 1;
+  switch (e.kind) {
+    case EventKind::kJoin:
+      obs_->ev_join.add();
+      dispatch_join(e);
+      break;
+    case EventKind::kLeave:
+      obs_->ev_leave.add();
+      nodes_.alive[e.node] = 0;
+      nodes_.leave_time_s[e.node] = e.time_s;
+      break;
+    case EventKind::kMove:
+      obs_->ev_move.add();
+      nodes_.pose[e.node] = e.pose;
+      if (nodes_.alive[e.node]) wake_service(e.time_s);
+      break;
+    case EventKind::kArrival:
+      obs_->ev_arrival.add();
+      dispatch_arrival(e);
+      break;
+    case EventKind::kService:
+      obs_->ev_service.add();
+      dispatch_service(e);
+      break;
+    case EventKind::kBlockageStart:
+      obs_->ev_blockage_start.add();
+      blockage_span_ = obs::Span(obs_->blockage_span, e.time_s,
+                                 obs::trace_lane(obs::kLaneCell, 1));
+      blockage_db_ = e.value;
+      apply_channel_loss();
+      break;
+    case EventKind::kBlockageEnd:
+      obs_->ev_blockage_end.add();
+      blockage_span_.end(e.time_s);
+      blockage_db_ = 0.0;
+      apply_channel_loss();
+      if (population() > 0) wake_service(e.time_s);
+      break;
   }
-  // A blockage still open at the horizon closes there in the trace.
-  blockage_span_.end(duration_s);
+  // Post-dispatch backlog of the event queue. Standalone engines run their
+  // event loop on one thread, so the last-write value is deterministic;
+  // sharded cells dispatch on TrialRunner workers, where a gauge write
+  // would race flush order — the MultiCellEngine publishes per-cell depth
+  // gauges from its (serial) epoch barrier instead.
+  if (config_.cell_index < 0) obs_->queue_depth.set(double(queue_.size()));
+}
 
-  report.peak_population = peak_population_;
-  report.final_population = population();
-  for (auto& n : nodes_) {
+void CellEngine::advance_to(double time_s) {
+  MILBACK_REQUIRE(running_, "CellEngine::advance_to: begin() first");
+  require_finite(time_s, "time_s");
+  const double limit = std::min(time_s, duration_s_);
+  while (!queue_.empty() && queue_.next_time_s() < limit) {
+    dispatch(queue_.pop());
+  }
+}
+
+CellReport CellEngine::finish() {
+  MILBACK_REQUIRE(running_, "CellEngine::finish: begin() first");
+  advance_to(duration_s_);
+  running_ = false;
+  // A blockage still open at the horizon closes there in the trace.
+  blockage_span_.end(duration_s_);
+
+  report_.peak_population = peak_population_;
+  report_.final_population = population();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
     CellNodeReport r;
-    r.id = n.id;
-    r.join_time_s = n.join_time_s;
-    r.leave_time_s = n.leave_time_s;
-    r.offered_bits = n.offered_bits;
-    r.delivered_bits = n.delivered_bits;
-    r.mean_latency_s = mean(n.latencies_s);
-    const auto pcts = percentiles(n.latencies_s, {50.0, 95.0});
+    r.id = nodes_.id[i];
+    r.join_time_s = nodes_.join_time_s[i];
+    r.leave_time_s = nodes_.leave_time_s[i];
+    r.offered_bits = nodes_.offered_bits[i];
+    r.delivered_bits = nodes_.delivered_bits[i];
+    const auto latencies = nodes_.latencies(i);
+    r.mean_latency_s = mean(latencies);
+    const auto pcts = percentiles(latencies, {50.0, 95.0});
     r.p50_latency_s = pcts[0];
     r.p95_latency_s = pcts[1];
-    r.peak_queue_bits = n.peak_queue_bits;
-    r.final_queue_bits = n.queued_bits;
-    r.service_rate_bps = n.rate_bps;
-    r.rounds_served = n.rounds_served;
+    r.peak_queue_bits = nodes_.peak_queue_bits[i];
+    r.final_queue_bits = nodes_.queued_bits[i];
+    r.service_rate_bps = nodes_.rate_bps[i];
+    r.rounds_served = nodes_.rounds_served[i];
     // Unstable if a served node's final backlog exceeds a couple of rounds
     // of arrivals (the MacSimulator heuristic, kept verbatim).
-    if (n.alive && n.rate_bps > 0.0 && last_period_s_ > 0.0 &&
-        n.queued_bits > 4.0 * n.spec.arrival_rate_bps * last_period_s_ +
-                            2.0 * payload_bits_) {
-      report.stable = false;
+    if (nodes_.alive[i] && nodes_.rate_bps[i] > 0.0 && last_period_s_ > 0.0 &&
+        nodes_.queued_bits[i] > 4.0 * nodes_.arrival_rate_bps[i] * last_period_s_ +
+                                    2.0 * payload_bits_) {
+      report_.stable = false;
     }
     // milback-analyze: no-reduction(serial event-handler loop in deterministic slot-major order; single thread by construction)
-    report.aggregate_goodput_bps += n.delivered_bits / duration_s;
-    report.nodes.push_back(std::move(r));
+    report_.aggregate_goodput_bps += nodes_.delivered_bits[i] / duration_s_;
+    report_.nodes.push_back(std::move(r));
   }
-  return report;
+  CellReport out = std::move(report_);
+  report_ = CellReport{};
+  return out;
+}
+
+// milback-analyze: no-contract(pure composition; begin() validates every input)
+CellReport CellEngine::run(double duration_s, std::uint64_t seed) {
+  begin(duration_s, seed);
+  advance_to(duration_s);
+  return finish();
+}
+
+CarriedNode CellEngine::detach_node(std::size_t node, double time_s) {
+  MILBACK_REQUIRE(running_, "detach_node: handoff is a mid-run operation");
+  MILBACK_REQUIRE(node < nodes_.size(), "detach_node: node out of range");
+  MILBACK_REQUIRE(nodes_.alive[node], "detach_node: node is not alive here");
+  require_finite(time_s, "time_s");
+  CarriedNode out;
+  out.id = nodes_.id[node];
+  out.spec = core::TrafficSpec{nodes_.pose[node], nodes_.arrival_rate_bps[node],
+                               nodes_.burstiness[node]};
+  out.backlog = nodes_.take_chunks(node);
+  out.queued_bits = nodes_.queued_bits[node];
+  nodes_.queued_bits[node] = 0.0;
+  nodes_.alive[node] = 0;
+  nodes_.leave_time_s[node] = time_s;
+  obs_->ev_handoff_out.add();
+  return out;
+}
+
+std::size_t CellEngine::attach_node(const CarriedNode& carried, double time_s) {
+  MILBACK_REQUIRE(running_, "attach_node: handoff is a mid-run operation");
+  MILBACK_REQUIRE(carried.id.valid(), "attach_node: carried id must be interned");
+  require_finite(time_s, "time_s");
+  const std::size_t index = nodes_.add(carried.id, carried.spec, time_s, true);
+  register_node_metrics(index);
+  ensure_session(index);
+  for (const auto& c : carried.backlog) {
+    nodes_.push_chunk(index, c.bits, c.arrival_s);
+  }
+  nodes_.queued_bits[index] = carried.queued_bits;
+  nodes_.peak_queue_bits[index] = carried.queued_bits;
+  peak_population_ = std::max(peak_population_, population());
+  obs_->ev_handoff_in.add();
+  wake_service(time_s);
+  return index;
 }
 
 core::RoundResult CellEngine::run_uplink_round(std::size_t bits_per_node,
@@ -499,13 +625,10 @@ core::RoundResult CellEngine::run_uplink_round(std::size_t bits_per_node,
   const auto slots = sdm_slots();
   round.sdm_slots = slots.size();
   const auto services = flatten_services(slots);
-  std::vector<channel::NodePose> poses;
   std::vector<std::string> ids;
-  poses.reserve(nodes_.size());
   ids.reserve(nodes_.size());
-  for (const auto& n : nodes_) {
-    poses.push_back(n.spec.pose);
-    ids.push_back(n.id);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    ids.emplace_back(nodes_.id[i].view());
   }
 
   // One draw from the caller's generator seeds every per-node stream; the
@@ -517,7 +640,7 @@ core::RoundResult CellEngine::run_uplink_round(std::size_t bits_per_node,
       runner.map<core::NodeRoundResult>(services.size(), [&](std::size_t k) {
         auto data_rng = Rng::stream(round_seed, k, std::uint64_t{0});
         auto noise_rng = Rng::stream(round_seed, k, std::uint64_t{1});
-        return serve_uplink_node(link_, poses, ids, services[k],
+        return serve_uplink_node(link_, nodes_.pose, ids, services[k],
                                  slots[services[k].slot], bits_per_node,
                                  data_rng, noise_rng);
       });
@@ -540,13 +663,10 @@ core::DownlinkRoundResult CellEngine::run_downlink_round(
   const auto slots = sdm_slots();
   round.sdm_slots = slots.size();
   const auto services = flatten_services(slots);
-  std::vector<channel::NodePose> poses;
   std::vector<std::string> ids;
-  poses.reserve(nodes_.size());
   ids.reserve(nodes_.size());
-  for (const auto& n : nodes_) {
-    poses.push_back(n.spec.pose);
-    ids.push_back(n.id);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    ids.emplace_back(nodes_.id[i].view());
   }
 
   const std::uint64_t round_seed = rng.engine()();
@@ -555,7 +675,7 @@ core::DownlinkRoundResult CellEngine::run_downlink_round(
       runner.map<core::NodeDownlinkResult>(services.size(), [&](std::size_t k) {
         auto data_rng = Rng::stream(round_seed, k, std::uint64_t{0});
         auto noise_rng = Rng::stream(round_seed, k, std::uint64_t{1});
-        return serve_downlink_node(link_, poses, ids, services[k],
+        return serve_downlink_node(link_, nodes_.pose, ids, services[k],
                                    slots[services[k].slot], bits_per_node,
                                    data_rng, noise_rng);
       });
@@ -573,17 +693,14 @@ core::DownlinkRoundResult CellEngine::run_downlink_round(
 }
 
 std::vector<std::vector<std::size_t>> CellEngine::sdm_slots() const {
-  std::vector<channel::NodePose> poses;
-  poses.reserve(nodes_.size());
-  for (const auto& n : nodes_) poses.push_back(n.spec.pose);
-  return sdm_partition(poses, config_.network.sdm_min_separation_deg);
+  return sdm_partition(nodes_.pose, config_.network.sdm_min_separation_deg);
 }
 
 double CellEngine::inter_node_isolation_db(std::size_t i, std::size_t j) const {
   MILBACK_REQUIRE(i < nodes_.size() && j < nodes_.size(),
                   "inter_node_isolation_db: index out of range");
-  return cell::inter_node_isolation_db(link_.channel(), nodes_[i].spec.pose,
-                                       nodes_[j].spec.pose);
+  return cell::inter_node_isolation_db(link_.channel(), nodes_.pose[i],
+                                       nodes_.pose[j]);
 }
 
 double CellEngine::service_rate_bps(const channel::NodePose& pose) const {

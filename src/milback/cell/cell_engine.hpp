@@ -14,22 +14,29 @@
 // — keyed by the event's queue-stamped sequence number, never by a shared
 // generator — and the per-sweep fan-out runs on sim::TrialRunner under its
 // thread-count-invariance contract, so the CellReport is bit-identical with
-// 1 worker or N (tests/integration/test_cell_thread_invariance.cpp).
+// 1 worker or N (tests/integration/test_cell_thread_invariance.cpp). When
+// the engine is one shard of a MultiCellEngine (config.cell_index >= 0) the
+// keying widens to Rng::stream(seed, cell, node, event.seq) so sibling
+// cells sharing a seed stay decorrelated.
 //
-// MilBackNetwork and MacSimulator are now thin adapters over this class
+// Storage is struct-of-arrays (node_soa.hpp) over pooled chains and the
+// event queue is slab-pooled (event_queue.hpp): a steady-state run makes
+// zero event allocations and per-node state fits a fixed byte budget
+// (BM_MultiCell_MemoryPerNode prints the measured number).
+//
+// MilBackNetwork and MacSimulator are thin adapters over this class
 // (field-exact and statistically-equivalent respectively; see
 // tests/integration/test_cell_equivalence.cpp for which guarantee applies
 // where).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "milback/cell/event_queue.hpp"
+#include "milback/cell/node_soa.hpp"
 #include "milback/cell/sdm.hpp"
 #include "milback/core/rate_adapt.hpp"
 #include "milback/core/round_types.hpp"
@@ -42,6 +49,8 @@ class TrialRunner;
 }
 
 namespace milback::cell {
+
+struct CellObs;
 
 /// Engine tuning.
 struct CellConfig {
@@ -56,6 +65,17 @@ struct CellConfig {
                                       ///< budget probe. Requires a pinned
                                       ///< service_period_s.
   core::SessionConfig session{};      ///< Per-node session tuning (run_sessions).
+  std::int64_t cell_index = -1;       ///< >= 0: this engine is one shard of a
+                                      ///< MultiCellEngine — draws are keyed
+                                      ///< (seed, cell, node, seq) and cell-wide
+                                      ///< metrics are labeled cell.c<k>.*;
+                                      ///< < 0: standalone (PR 4 behavior,
+                                      ///< bit-identical).
+  int sweep_threads = 0;              ///< TrialRunner workers for the per-sweep
+                                      ///< fan-out: 0 = MILBACK_SIM_THREADS /
+                                      ///< hardware default; >= 1 pins. The
+                                      ///< MultiCellEngine pins 1 — parallelism
+                                      ///< is across cells, not within one.
 };
 
 /// One node's slice of one service sweep, handed to the observer.
@@ -63,7 +83,7 @@ struct ServiceObservation {
   double time_s = 0.0;          ///< Sweep start time.
   std::size_t round = 0;        ///< 0-based service-sweep index.
   std::size_t node = 0;         ///< Node index (engine-wide, stable).
-  std::string id;               ///< Node identifier.
+  NodeId id{};                  ///< Interned node identifier (id.view() for text).
   double rate_bps = 0.0;        ///< Service rate chosen this sweep (0 = skipped).
   double drained_bits = 0.0;    ///< Queue bits drained this sweep.
   double queued_bits = 0.0;     ///< Backlog after the sweep.
@@ -73,7 +93,7 @@ struct ServiceObservation {
 
 /// Per-node outcome of a run.
 struct CellNodeReport {
-  std::string id;
+  NodeId id{};                     ///< Interned identifier (id.view() for text).
   double join_time_s = 0.0;        ///< When the node entered the cell.
   double leave_time_s = -1.0;      ///< When it left (-1 = stayed to the end).
   double offered_bits = 0.0;       ///< Bits generated.
@@ -98,6 +118,17 @@ struct CellReport {
   double aggregate_goodput_bps = 0.0;    ///< Total delivered / duration.
   double cell_capacity_bps = 0.0;        ///< Saturation goodput (last sweep).
   bool stable = true;                    ///< No served queue grew without bound.
+};
+
+/// A node in flight between cells: everything the target cell needs to
+/// resume service — identity, traffic spec (pose already local to the new
+/// AP), and the unfinished backlog with original arrival stamps so latency
+/// keeps accruing across the handoff.
+struct CarriedNode {
+  NodeId id{};
+  core::TrafficSpec spec{};
+  std::vector<Chunk> backlog;   ///< FIFO order, oldest first.
+  double queued_bits = 0.0;     ///< Sum over backlog (source-cell accounting).
 };
 
 /// The discrete-event cell.
@@ -131,8 +162,42 @@ class CellEngine {
 
   /// Runs `duration_s` of cell time. Single-shot: a CellEngine instance
   /// runs once (build a fresh engine per trial). The report is a pure
-  /// function of (scenario, seed) at any worker count.
+  /// function of (scenario, seed) at any worker count. Equivalent to
+  /// begin + advance_to(duration_s) + finish.
   CellReport run(double duration_s, std::uint64_t seed);
+
+  /// --- Incremental stepping (the MultiCellEngine shard surface) -----------
+  /// A sharded run interleaves cells at epoch barriers: each epoch the
+  /// driver calls advance_to(epoch end) on every cell, then applies
+  /// cross-cell coupling (handoff, interference) before the next epoch.
+
+  /// Starts a run without dispatching: bootstraps the first sweep and
+  /// arrival window. Same single-shot contract as run().
+  void begin(double duration_s, std::uint64_t seed);
+
+  /// Dispatches every event strictly before min(time_s, duration). Safe to
+  /// call repeatedly with non-decreasing times. Requires begin().
+  void advance_to(double time_s);
+
+  /// Closes the run (remaining trace spans, report construction). Requires
+  /// begin(); advance_to(duration) is implied.
+  CellReport finish();
+
+  /// Removes an alive node for handoff at `time_s`: it leaves this cell's
+  /// report (leave_time_s = time_s, backlog zeroed) and its unfinished
+  /// chunks travel with the returned CarriedNode. Offered bits stay counted
+  /// here; the chunks' delivered bits land wherever they finally drain.
+  CarriedNode detach_node(std::size_t node, double time_s);
+
+  /// Admits a node handed off from a sibling cell at `time_s`: joins alive
+  /// with the carried backlog restored (original arrival stamps, so latency
+  /// spans the handoff). Returns the node's index in *this* cell.
+  std::size_t attach_node(const CarriedNode& carried, double time_s);
+
+  /// Extra one-way path loss [dB] from co-channel sibling cells, applied on
+  /// top of any active blockage episode through the same channel fold. The
+  /// MultiCellEngine recomputes this at every epoch barrier.
+  void set_external_interference_db(double loss_db);
 
   /// --- Static-population one-shots (the MilBackNetwork adapter path) ------
 
@@ -159,60 +224,60 @@ class CellEngine {
   const core::MilBackLink& link() const noexcept { return link_; }
   const CellConfig& config() const noexcept { return config_; }
   std::size_t node_count() const noexcept { return nodes_.size(); }
-  const std::string& node_id(std::size_t i) const;
+  /// Pre-sizes the node columns and the event heap for `n` rows (large
+  /// fleets avoid capacity growth bursts during build-up; the steady state
+  /// pends about one arrival event per node).
+  void reserve_nodes(std::size_t n) {
+    nodes_.reserve(n);
+    queue_.reserve(n + n / 8 + 16);
+  }
+  NodeId node_id(std::size_t i) const;
   const channel::NodePose& node_pose(std::size_t i) const;
   bool node_alive(std::size_t i) const;
+  /// When node `i` joins (epoch drivers distinguish "not joined yet" from
+  /// "left" for rows their cell reports as not alive).
+  double node_join_time_s(std::size_t i) const;
   /// Nodes currently alive.
   std::size_t population() const noexcept;
+  /// Pending events (epoch drivers use this to detect an idle cell).
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+  /// Bytes held by node columns, pooled chains and the event queue —
+  /// the simulation state BM_MultiCell_MemoryPerNode divides by population.
+  std::size_t memory_bytes() const noexcept;
 
  private:
-  struct Chunk {
-    double bits = 0.0;
-    double arrival_s = 0.0;
-  };
-  struct NodeState {
-    std::string id;
-    core::TrafficSpec spec;
-    double join_time_s = 0.0;
-    double leave_time_s = -1.0;
-    bool alive = false;
-    double rate_bps = 0.0;
-    std::deque<Chunk> queue;
-    double queued_bits = 0.0;
-    double offered_bits = 0.0;
-    double delivered_bits = 0.0;
-    double peak_queue_bits = 0.0;
-    std::vector<double> latencies_s;
-    std::size_t rounds_served = 0;
-    std::optional<core::AdaptiveSession> session;
-    // Per-node telemetry (inert handles unless metrics were enabled when the
-    // node was added; recording is always a no-op while metrics are off).
-    obs::Histogram obs_latency;   ///< cell.node.<id>.latency_s
-    obs::Histogram obs_snr;       ///< cell.node.<id>.snr_db (run_sessions)
-    obs::Counter obs_drops;       ///< cell.node.<id>.sweeps_skipped
-  };
-
   std::vector<std::size_t> alive_indices() const;
-  void ensure_session(NodeState& n);
-  void apply_blockage(double loss_db);
+  void ensure_session(std::size_t i);
+  void apply_channel_loss();
   /// Schedules a service sweep at `time_s` unless one is already pending.
   void wake_service(double time_s);
+  /// Per-event randomness: (seed, node, seq), widened with the cell index
+  /// when sharded. The stream is pure — identical at any worker count.
+  Rng event_stream(std::uint64_t node, std::uint64_t event_seq) const;
+  void register_node_metrics(std::size_t i);
+  void dispatch(const Event& e);
   void dispatch_join(const Event& e);
-  void dispatch_arrival(const Event& e, std::uint64_t seed);
-  void dispatch_service(const Event& e, std::uint64_t seed, double duration_s,
-                        const sim::TrialRunner& runner, CellReport& report);
+  void dispatch_arrival(const Event& e);
+  void dispatch_service(const Event& e);
 
   CellConfig config_;
   core::MilBackLink link_;
-  std::vector<NodeState> nodes_;
+  NodeSoA nodes_;
   EventQueue queue_;
   ServiceObserver observer_;
+  const CellObs* obs_;       ///< Label-scoped cell-wide metric handles.
   bool service_scheduled_ = false;
   bool ran_ = false;
+  bool running_ = false;
   obs::Span blockage_span_;  ///< Open while a blockage episode is active.
   double payload_bits_ = 0.0;
   double last_period_s_ = 0.0;
   std::size_t peak_population_ = 0;
+  double duration_s_ = 0.0;
+  std::uint64_t seed_ = 0;
+  double blockage_db_ = 0.0;
+  double external_db_ = 0.0;
+  CellReport report_;        ///< Accumulated during dispatch, sealed by finish().
 };
 
 }  // namespace milback::cell

@@ -11,15 +11,28 @@
 //   3. seq         — scheduling order, stamped by the queue on push, breaks
 //                    the remaining ties.
 // The seq stamp is also the determinism key for event randomness: handlers
-// derive their draws as Rng::stream(seed, node, event.seq), so a run is a
-// pure function of (scenario, seed) regardless of worker count.
+// derive their draws as Rng::stream(seed, node, event.seq) — or, sharded,
+// Rng::stream(seed, cell, node, event.seq) — so a run is a pure function of
+// (scenario, seed) regardless of worker count.
+//
+// Storage is pooled: the heap orders 16-byte handles (the priority packed
+// into the top bits of a 32-bit seq word), 16-byte event payloads live in a
+// slab pool (the kind packed into the top bits of the node word), and the
+// rare kMove pose payload lives in its own slab, so a steady-state run
+// (push/pop churn at stable queue depth) performs zero heap allocations —
+// every pop returns its slots to a free list the next push reuses. Pool
+// reuse cannot perturb ordering because the ordering key (time, priority,
+// seq) lives entirely in the handle, never in the pooled slot (see
+// tests/cell/test_event_pool.cpp for the churn property test). The packing
+// caps one queue at 2^30 events pushed over its lifetime and 2^28-1 node
+// slots — both contract-checked, both far above any cell-scale run.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
+#include "milback/cell/slab_pool.hpp"
 #include "milback/channel/backscatter_channel.hpp"
 
 namespace milback::cell {
@@ -60,12 +73,15 @@ struct Event {
 };
 
 /// Min-queue over (time_s, priority, seq). Push stamps a monotonically
-/// increasing seq, making the order total and run-to-run stable.
+/// increasing seq, making the order total and run-to-run stable. Pooled
+/// storage: pops recycle their payload slots, so sustained churn at stable
+/// depth allocates nothing.
 class EventQueue {
  public:
   /// Enqueues `e` (its seq field is overwritten). Returns the stamped seq.
-  /// Requires a finite, non-negative time.
-  std::uint64_t push(Event e);
+  /// Requires a finite, non-negative time and a node index that is either
+  /// Event::kCellWide or a real (sub-sentinel) node slot.
+  std::uint64_t push(const Event& e);
 
   /// Whether any events remain.
   bool empty() const noexcept { return heap_.empty(); }
@@ -73,23 +89,73 @@ class EventQueue {
   /// Number of pending events.
   std::size_t size() const noexcept { return heap_.size(); }
 
-  /// The next event to dispatch. Requires a non-empty queue.
+  /// Dispatch time of the next event (the engine's loop guard — cheaper
+  /// than materializing top()). Requires a non-empty queue.
+  double next_time_s() const;
+
+  /// The next event to dispatch. Requires a non-empty queue. The reference
+  /// is invalidated by the next push/pop/top call.
   const Event& top() const;
 
-  /// Removes and returns the next event. Requires a non-empty queue.
+  /// Removes and returns the next event, recycling its pooled slots.
+  /// Requires a non-empty queue.
   Event pop();
 
+  /// Bytes held by the heap and the payload pools (capacity, not live
+  /// count — what the queue actually reserves from the allocator).
+  std::size_t allocated_bytes() const noexcept;
+
+  /// Payload slots ever allocated (monotone; steady-state churn keeps this
+  /// flat — the regression handle for the zero-allocation property).
+  std::size_t pooled_slots() const noexcept { return payloads_.capacity(); }
+
+  /// Pre-sizes the heap for `n` pending events (the engine reserves one
+  /// arrival slot per node so fleet build-up never doubles the heap).
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
  private:
+  /// Heap entry: the full ordering key plus a slot into the payload pool.
+  /// The key lives here — never in the pooled slot — so free-list reuse
+  /// cannot perturb the (time, priority, seq) total order. priority and seq
+  /// share one word — priority in the top 2 bits, seq below — so their
+  /// lexicographic order is plain integer order on `pri_seq` and the handle
+  /// packs to 16 bytes.
+  struct Handle {
+    double time_s;
+    std::uint32_t pri_seq;
+    std::uint32_t slot;
+  };
+
+  static constexpr std::uint32_t kSeqBits = 30;
+  static constexpr std::uint32_t kSeqMask = (1u << kSeqBits) - 1;
+
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const Handle& a, const Handle& b) const noexcept {
       if (a.time_s != b.time_s) return a.time_s > b.time_s;
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.seq > b.seq;
+      return a.pri_seq > b.pri_seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Pooled event payload (everything the handle doesn't carry). The kind
+  /// lives in the top 4 bits of the node word; poses are pooled separately
+  /// (only kMove events carry one).
+  struct Payload {
+    double value;
+    std::uint32_t node_kind;
+    std::uint32_t pose_slot;  // SlabPool::kNone unless kind == kMove
+  };
+
+  static constexpr std::uint32_t kNodeBits = 28;
+  /// In-payload node sentinel for Event::kCellWide (also the node cap).
+  static constexpr std::uint32_t kNodeNone = (1u << kNodeBits) - 1;
+
+  Event materialize(const Handle& h) const;
+
+  std::vector<Handle> heap_;  // std::push_heap/pop_heap with Later
+  SlabPool<Payload> payloads_;
+  SlabPool<channel::NodePose> poses_;
   std::uint64_t next_seq_ = 0;
+  mutable Event top_cache_{};
 };
 
 }  // namespace milback::cell

@@ -1,0 +1,50 @@
+#include "milback/cell/id_table.hpp"
+
+#include <mutex>
+#include <ostream>
+
+#include "milback/core/contract.hpp"
+
+namespace milback::cell {
+
+IdTable& IdTable::global() {
+  static IdTable table;
+  return table;
+}
+
+NodeId IdTable::intern(std::string_view id) {
+  MILBACK_REQUIRE(!id.empty(), "IdTable: id must be non-empty");
+  {
+    std::shared_lock lock(mutex_);
+    auto it = index_.find(id);
+    if (it != index_.end()) return NodeId(it->second);
+  }
+  std::unique_lock lock(mutex_);
+  auto it = index_.find(id);  // re-check: another thread may have interned it
+  if (it != index_.end()) return NodeId(it->second);
+  MILBACK_ENSURE(strings_.size() < NodeId::kInvalid, "IdTable: id space exhausted");
+  const auto slot = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(id);
+  index_.emplace(std::string_view(strings_.back()), slot);
+  return NodeId(slot);
+}
+
+std::string_view IdTable::view(NodeId id) const {
+  MILBACK_REQUIRE(id.valid(), "IdTable: cannot resolve an invalid NodeId");
+  std::shared_lock lock(mutex_);
+  MILBACK_REQUIRE(id.index() < strings_.size(), "IdTable: NodeId out of range");
+  return std::string_view(strings_[id.index()]);
+}
+
+std::size_t IdTable::size() const {
+  std::shared_lock lock(mutex_);
+  return strings_.size();
+}
+
+std::string_view NodeId::view() const { return IdTable::global().view(*this); }
+
+std::ostream& operator<<(std::ostream& os, NodeId id) {
+  return os << (id.valid() ? id.view() : std::string_view("<invalid-id>"));
+}
+
+}  // namespace milback::cell

@@ -1,0 +1,177 @@
+// Slab-allocated object pool with an intrusive free list.
+//
+// The discrete-event cell engine recycles short-lived records constantly:
+// event payloads, queued traffic chunks, latency samples. Allocating each of
+// them individually means one malloc per arrival per node per sweep — at
+// city scale (16 cells x 10k nodes) that is millions of allocator round
+// trips per simulated second. `SlabPool` amortises them away: storage grows
+// in fixed-size slabs that are never returned until the pool is destroyed,
+// released slots go onto a free list, and steady-state acquire/release
+// cycles therefore perform zero heap allocations.
+//
+// Slots are addressed by 32-bit index handles rather than pointers so that
+// the containers embedding them (per-node FIFO chains, the event heap) stay
+// compact and trivially relocatable. Handle semantics:
+//
+//   - `acquire()` returns a slot index; the slot holds a default-constructed
+//     or previously-released T (callers overwrite every field).
+//   - `release(slot)` pushes the slot onto the free list. Releasing a slot
+//     twice is undefined (it would alias two live records), so callers own
+//     the single-release discipline; debug builds catch stale indexes via
+//     the range contract on operator[].
+//
+// T must be trivially destructible-ish in spirit: slots are reused without
+// re-running constructors, which is exactly right for the POD records the
+// engine stores here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "milback/core/contract.hpp"
+
+namespace milback::cell {
+
+template <typename T>
+class SlabPool {
+ public:
+  /// Sentinel "no slot" handle (also the per-node FIFO chain terminator).
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// `slab_elems` is the pool growth quantum, in elements.
+  explicit SlabPool(std::size_t slab_elems = 1024) : slab_elems_(slab_elems) {
+    MILBACK_REQUIRE(slab_elems > 0, "SlabPool: slab_elems must be positive");
+    MILBACK_REQUIRE(slab_elems < kNone, "SlabPool: slab_elems exceeds handle range");
+  }
+
+  /// Returns a free slot index, reusing released slots before growing.
+  /// Allocates only when the free list is empty and every slab is full.
+  std::uint32_t acquire() {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    if (high_water_ == slabs_.size() * slab_elems_) {
+      slabs_.push_back(std::make_unique<T[]>(slab_elems_));
+    }
+    MILBACK_ENSURE(high_water_ < kNone, "SlabPool: handle space exhausted");
+    return static_cast<std::uint32_t>(high_water_++);
+  }
+
+  /// Returns `slot` to the free list for reuse by a later acquire().
+  void release(std::uint32_t slot) {
+    MILBACK_REQUIRE(slot < high_water_, "SlabPool: release of unallocated slot");
+    free_.push_back(slot);
+  }
+
+  T& operator[](std::uint32_t slot) {
+    MILBACK_REQUIRE(slot < high_water_, "SlabPool: slot out of range");
+    return slabs_[slot / slab_elems_][slot % slab_elems_];
+  }
+
+  const T& operator[](std::uint32_t slot) const {
+    MILBACK_REQUIRE(slot < high_water_, "SlabPool: slot out of range");
+    return slabs_[slot / slab_elems_][slot % slab_elems_];
+  }
+
+  /// Slots currently acquired and not yet released.
+  std::size_t live() const noexcept { return high_water_ - free_.size(); }
+
+  /// Total slots backed by allocated slabs (monotone over the pool's life).
+  std::size_t capacity() const noexcept { return slabs_.size() * slab_elems_; }
+
+  /// Bytes held by slab storage plus free-list bookkeeping.
+  std::size_t allocated_bytes() const noexcept {
+    return capacity() * sizeof(T) + free_.capacity() * sizeof(std::uint32_t) +
+           slabs_.capacity() * sizeof(slabs_[0]);
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> slabs_;
+  std::vector<std::uint32_t> free_;
+  std::size_t high_water_ = 0;  // slots ever handed out (free or live)
+  std::size_t slab_elems_;
+};
+
+/// SlabPool variant for intrusive singly-linked chains: the value and the
+/// `next` link live in parallel slabs instead of one padded record, so a
+/// slot costs sizeof(T) + 4 bytes exactly. For the cell engine's chains
+/// that is 20 bytes per queued chunk and 12 per latency sample versus 24/16
+/// for the struct layout — the padding was a fifth of the per-node budget.
+/// Same handle discipline as SlabPool (acquire/release, kNone terminator).
+template <typename T>
+class ChainPool {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  explicit ChainPool(std::size_t slab_elems = 1024) : slab_elems_(slab_elems) {
+    MILBACK_REQUIRE(slab_elems > 0, "ChainPool: slab_elems must be positive");
+    MILBACK_REQUIRE(slab_elems < kNone, "ChainPool: slab_elems exceeds handle range");
+  }
+
+  /// Returns a free slot with next(slot) reset to kNone (the value is
+  /// stale; callers overwrite it).
+  std::uint32_t acquire() {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      if (high_water_ == values_.size() * slab_elems_) {
+        values_.push_back(std::make_unique<T[]>(slab_elems_));
+        nexts_.push_back(std::make_unique<std::uint32_t[]>(slab_elems_));
+      }
+      MILBACK_ENSURE(high_water_ < kNone, "ChainPool: handle space exhausted");
+      slot = static_cast<std::uint32_t>(high_water_++);
+    }
+    next(slot) = kNone;
+    return slot;
+  }
+
+  void release(std::uint32_t slot) {
+    MILBACK_REQUIRE(slot < high_water_, "ChainPool: release of unallocated slot");
+    free_.push_back(slot);
+  }
+
+  T& value(std::uint32_t slot) {
+    MILBACK_REQUIRE(slot < high_water_, "ChainPool: slot out of range");
+    return values_[slot / slab_elems_][slot % slab_elems_];
+  }
+
+  const T& value(std::uint32_t slot) const {
+    MILBACK_REQUIRE(slot < high_water_, "ChainPool: slot out of range");
+    return values_[slot / slab_elems_][slot % slab_elems_];
+  }
+
+  std::uint32_t& next(std::uint32_t slot) {
+    MILBACK_REQUIRE(slot < high_water_, "ChainPool: slot out of range");
+    return nexts_[slot / slab_elems_][slot % slab_elems_];
+  }
+
+  std::uint32_t next(std::uint32_t slot) const {
+    MILBACK_REQUIRE(slot < high_water_, "ChainPool: slot out of range");
+    return nexts_[slot / slab_elems_][slot % slab_elems_];
+  }
+
+  std::size_t live() const noexcept { return high_water_ - free_.size(); }
+
+  std::size_t capacity() const noexcept { return values_.size() * slab_elems_; }
+
+  std::size_t allocated_bytes() const noexcept {
+    return capacity() * (sizeof(T) + sizeof(std::uint32_t)) +
+           free_.capacity() * sizeof(std::uint32_t) +
+           (values_.capacity() + nexts_.capacity()) * sizeof(values_[0]);
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> values_;
+  std::vector<std::unique_ptr<std::uint32_t[]>> nexts_;
+  std::vector<std::uint32_t> free_;
+  std::size_t high_water_ = 0;
+  std::size_t slab_elems_;
+};
+
+}  // namespace milback::cell

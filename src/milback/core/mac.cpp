@@ -65,7 +65,7 @@ MacReport MacSimulator::run(double duration_s, milback::Rng& rng) {
   report.nodes.reserve(cell.nodes.size());
   for (const auto& n : cell.nodes) {
     MacNodeReport r;
-    r.id = n.id;
+    r.id = std::string(n.id.view());
     r.offered_bits = n.offered_bits;
     r.delivered_bits = n.delivered_bits;
     r.mean_latency_s = n.mean_latency_s;

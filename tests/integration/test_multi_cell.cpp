@@ -1,0 +1,156 @@
+// MultiCellEngine behavior: geometry mapping, epoch-barrier handoff with
+// backlog carry-over, co-channel interference coupling, and determinism of
+// the whole-network report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "milback/cell/multi_cell.hpp"
+
+namespace milback::cell {
+namespace {
+
+MultiCellConfig two_cell_config() {
+  MultiCellConfig cfg;
+  cfg.aps = {{0.0, 0.0}, {30.0, 0.0}};
+  cfg.coverage_radius_m = 10.0;
+  cfg.epoch_s = 0.02;
+  return cfg;
+}
+
+MultiCellEngine make_engine(MultiCellConfig cfg) {
+  Rng env(5);
+  return MultiCellEngine(channel::BackscatterChannel::make_default(
+                             channel::Environment::indoor_office(env)),
+                         std::move(cfg));
+}
+
+TEST(MultiCell, GeometryMapsGlobalPoseIntoServingCellFrame) {
+  auto engine = make_engine(two_cell_config());
+  EXPECT_EQ(engine.cell_count(), 2u);
+  EXPECT_EQ(engine.nearest_cell(2.0, 1.0), 0u);
+  EXPECT_EQ(engine.nearest_cell(28.0, -1.0), 1u);
+  // Equidistant point: lowest index wins.
+  EXPECT_EQ(engine.nearest_cell(15.0, 0.0), 0u);
+
+  const auto local = engine.local_pose(1, {27.0, 4.0, 12.0});
+  EXPECT_DOUBLE_EQ(local.distance_m, 5.0);  // 3-4-5 triangle from AP 1
+  EXPECT_NEAR(local.azimuth_deg, 180.0 - 53.13, 0.01);
+  EXPECT_DOUBLE_EQ(local.orientation_deg, 12.0);
+
+  // A node on top of the AP clamps to 10 cm instead of a zero distance.
+  EXPECT_DOUBLE_EQ(engine.local_pose(0, {0.0, 0.0, 0.0}).distance_m, 0.1);
+}
+
+TEST(MultiCell, RoamingNodeHandsOffWithBacklogCarryOver) {
+  auto engine = make_engine(two_cell_config());
+  const std::size_t roamer =
+      engine.add_node("roamer", {3.0, 0.0, 5.0}, 60e3);
+  engine.add_node("anchor-0", {2.0, 1.0, 0.0}, 40e3);
+  engine.add_node("anchor-1", {28.0, -1.0, 0.0}, 40e3);
+  EXPECT_EQ(engine.node_cell(roamer), 0u);
+  // Mid-run the roamer jumps next to AP 1 — outside cell 0's coverage, so
+  // the next epoch barrier must hand it off.
+  engine.schedule_waypoint(roamer, 0.05, {27.0, 0.0, 5.0});
+
+  const MultiCellReport report = engine.run(0.2, 42);
+  EXPECT_EQ(engine.node_cell(roamer), 1u);
+  EXPECT_EQ(report.handoffs, 1u);
+  ASSERT_EQ(report.nodes.size(), 3u);
+
+  const MultiCellNodeReport& r = report.nodes[roamer];
+  EXPECT_EQ(std::string(r.id.view()), "roamer");
+  EXPECT_EQ(r.home_cell, 0u);
+  EXPECT_EQ(r.final_cell, 1u);
+  EXPECT_EQ(r.handoffs, 1u);
+  // Traffic was offered on both sides of the handoff and service continued
+  // in the target cell.
+  EXPECT_GT(r.offered_bits, 0.0);
+  EXPECT_GT(r.delivered_bits, 0.0);
+  EXPECT_GT(r.rounds_served, 0u);
+
+  // Source-cell accounting: the roamer's cell-0 report entry shows the
+  // handoff time as its leave time and a zeroed backlog (the chunks left
+  // with the node).
+  ASSERT_EQ(report.cells.size(), 2u);
+  const CellNodeReport& source = report.cells[0].nodes[0];
+  EXPECT_EQ(std::string(source.id.view()), "roamer");
+  EXPECT_GT(source.leave_time_s, 0.05);
+  EXPECT_DOUBLE_EQ(source.final_queue_bits, 0.0);
+  // Target-cell entry: same interned id, joined at the handoff instant.
+  bool found = false;
+  for (const auto& n : report.cells[1].nodes) {
+    if (n.id == r.id) {
+      found = true;
+      EXPECT_DOUBLE_EQ(n.join_time_s, source.leave_time_s);
+      EXPECT_EQ(n.leave_time_s, -1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MultiCell, CoChannelCellsRaiseEachOthersNoiseFloor) {
+  // Same scenario on one shared channel vs one channel per cell: reuse-1
+  // must report a positive worst-case noise rise, full reuse none at all,
+  // and the extra loss must cost delivered throughput.
+  const auto build = [](std::size_t channels) {
+    MultiCellConfig cfg = two_cell_config();
+    cfg.frequency_channels = channels;
+    cfg.interference_node_db = -10.0;  // exaggerated so the loss is visible
+    auto engine = make_engine(cfg);
+    for (std::size_t i = 0; i < 4; ++i) {
+      engine.add_node("a-" + std::to_string(i),
+                      {2.0 + 0.5 * double(i), 1.0, 0.0}, 60e3);
+      engine.add_node("b-" + std::to_string(i),
+                      {28.0 - 0.5 * double(i), -1.0, 0.0}, 60e3);
+    }
+    return engine;
+  };
+  auto reuse1 = build(1);
+  const MultiCellReport shared = reuse1.run(0.2, 7);
+  auto reuse2 = build(2);
+  const MultiCellReport isolated = reuse2.run(0.2, 7);
+
+  EXPECT_GT(shared.max_interference_db, 0.0);
+  EXPECT_DOUBLE_EQ(isolated.max_interference_db, 0.0);
+  EXPECT_LE(shared.aggregate_goodput_bps, isolated.aggregate_goodput_bps);
+}
+
+TEST(MultiCell, ScheduledLeaveRetiresTheNode) {
+  auto engine = make_engine(two_cell_config());
+  const std::size_t n = engine.add_node("leaver", {3.0, 0.0, 0.0}, 40e3);
+  engine.add_node("stayer", {28.0, 0.0, 0.0}, 40e3);
+  engine.schedule_leave(n, 0.1);
+  const MultiCellReport report = engine.run(0.2, 3);
+  EXPECT_EQ(report.peak_population, 2u);
+  EXPECT_DOUBLE_EQ(report.cells[0].nodes[0].leave_time_s, 0.1);
+  EXPECT_EQ(report.cells[0].final_population, 0u);
+  EXPECT_EQ(report.cells[1].final_population, 1u);
+  EXPECT_EQ(report.handoffs, 0u);
+}
+
+TEST(MultiCell, SameSeedSameReport) {
+  const auto run_once = [] {
+    auto engine = make_engine(two_cell_config());
+    engine.add_node("r", {3.0, 0.0, 5.0}, 60e3);
+    engine.add_node("s", {28.0, 0.0, 0.0}, 40e3);
+    engine.schedule_waypoint(0, 0.05, {27.0, 0.0, 5.0});
+    return engine.run(0.2, 1234);
+  };
+  const MultiCellReport a = run_once();
+  const MultiCellReport b = run_once();
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.handoffs, b.handoffs);
+  EXPECT_DOUBLE_EQ(a.aggregate_goodput_bps, b.aggregate_goodput_bps);
+  EXPECT_DOUBLE_EQ(a.max_interference_db, b.max_interference_db);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.nodes[i].offered_bits, b.nodes[i].offered_bits);
+    EXPECT_DOUBLE_EQ(a.nodes[i].delivered_bits, b.nodes[i].delivered_bits);
+    EXPECT_EQ(a.nodes[i].rounds_served, b.nodes[i].rounds_served);
+  }
+}
+
+}  // namespace
+}  // namespace milback::cell
