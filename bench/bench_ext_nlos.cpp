@@ -1,0 +1,143 @@
+// Extension — NLoS localization: reflector-aware ranging vs blockage.
+//
+// The paper evaluates localization with the direct path intact. This bench
+// asks the deployment question the multipath PathSet layer exists to answer:
+// when a body blocks the direct AP-node ray, can the AP keep ranging by
+// re-steering at a surveyed wall and unfolding the specular image? Sweeps
+// the direct-path blockage fraction (0..100% of a 30 dB body) against two
+// corridor reflector geometries (grazing and mid-offset wall), and reports
+// ranging availability and mean position error with and without the
+// reflector-aware fallback.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "milback/ap/localizer.hpp"
+#include "milback/channel/multipath.hpp"
+#include "milback/util/units.hpp"
+
+using namespace milback;
+
+namespace {
+
+// One sweep point: blockage fraction x wall geometry.
+struct Point {
+  double blockage_frac;  // of kFullBlockDb
+  double wall_y_m;       // corridor wall offset from the AP-node line
+};
+
+// A 30 dB one-way body loss at full blockage (the pessimistic end of the
+// 20-30 dB range measured at 28 GHz).
+constexpr double kFullBlockDb = 30.0;
+
+struct Outcome {
+  bool aware_detected = false;
+  bool aware_nlos = false;
+  double aware_err_m = 0.0;
+  bool plain_detected = false;
+  double plain_err_m = 0.0;
+};
+
+double position_error_m(const ap::LocalizationResult& fix, double true_x, double true_y) {
+  const double x = fix.range_m * std::cos(deg2rad(fix.angle_deg));
+  const double y = fix.range_m * std::sin(deg2rad(fix.angle_deg));
+  return std::hypot(x - true_x, y - true_y);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::parse_seed(argc, argv);
+  bench::banner("Extension",
+                "NLoS: reflector-aware ranging vs direct-path blockage", seed);
+
+  std::vector<Point> points;
+  for (double wall_y : {0.9, 2.0}) {
+    for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      points.push_back({frac, wall_y});
+    }
+  }
+
+  Table t({"wall y (m)", "blockage (dB)", "aware avail", "aware err (cm)",
+           "nlos frac", "plain avail", "plain err (cm)"});
+  CsvWriter csv(CsvWriter::env_dir(), "ext_nlos",
+                {"wall_y_m", "blockage_db", "aware_avail", "aware_err_cm",
+                 "nlos_frac", "plain_avail", "plain_err_cm"});
+
+  const channel::NodePose pose{3.0, 0.0, 0.0};
+  const sim::TrialRunner runner;
+  const sim::Sweep<Point> sweep(points, 20);
+  const auto outcomes = sweep.run<Outcome>(
+      runner, [&](const Point& pt, std::size_t p, std::size_t trial) {
+        channel::MultipathConfig mp;
+        mp.walls.push_back({0.5, pt.wall_y_m, 3.5, pt.wall_y_m, 10.0});
+        channel::ChannelConfig cfg;
+        cfg.blockage_loss_db = pt.blockage_frac * kFullBlockDb;
+        auto chan = channel::BackscatterChannel::make_default(
+            channel::Environment::anechoic(), cfg);
+        chan.set_multipath(mp);
+
+        ap::LocalizerConfig aware_cfg;
+        aware_cfg.reflector_aware = true;
+        const ap::Localizer aware(aware_cfg);
+        const ap::Localizer plain;
+
+        Outcome out;
+        {
+          auto rng = Rng::stream(seed, p, trial, 0);
+          const auto fix = aware.localize(chan, pose, rng);
+          out.aware_detected = fix.detected;
+          out.aware_nlos = fix.nlos_fallback;
+          if (fix.detected) out.aware_err_m = position_error_m(fix, 3.0, 0.0);
+        }
+        {
+          auto rng = Rng::stream(seed, p, trial, 1);
+          const auto fix = plain.localize(chan, pose, rng);
+          out.plain_detected = fix.detected;
+          if (fix.detected) out.plain_err_m = position_error_m(fix, 3.0, 0.0);
+        }
+        return out;
+      });
+
+  for (std::size_t p = 0; p < sweep.points().size(); ++p) {
+    const Point& pt = sweep.points()[p];
+    const double n = double(outcomes[p].size());
+    double aware_det = 0, aware_nlos = 0, aware_err = 0, plain_det = 0, plain_err = 0;
+    for (const Outcome& o : outcomes[p]) {
+      // milback-analyze: no-reduction(serial post-sweep tally in the runner's fixed trial order; not accumulated across workers)
+      aware_det += o.aware_detected ? 1.0 : 0.0;
+      aware_nlos += o.aware_nlos ? 1.0 : 0.0;
+      aware_err += o.aware_err_m;
+      plain_det += o.plain_detected ? 1.0 : 0.0;
+      plain_err += o.plain_err_m;
+    }
+    const double aware_avail = aware_det / n;
+    const double plain_avail = plain_det / n;
+    const double aware_err_cm =
+        aware_det > 0 ? 100.0 * aware_err / aware_det : -1.0;
+    const double plain_err_cm =
+        plain_det > 0 ? 100.0 * plain_err / plain_det : -1.0;
+    t.add_row({Table::num(pt.wall_y_m, 1),
+               Table::num(pt.blockage_frac * kFullBlockDb, 0),
+               Table::num(100.0 * aware_avail, 0) + "%",
+               Table::num(aware_err_cm, 1), Table::num(aware_nlos / n, 2),
+               Table::num(100.0 * plain_avail, 0) + "%",
+               Table::num(plain_err_cm, 1)});
+    csv.row({pt.wall_y_m, pt.blockage_frac * kFullBlockDb, aware_avail,
+             aware_err_cm, aware_nlos / n, plain_avail, plain_err_cm});
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: past ~50% of a body blockage the LoS-only localizer loses\n"
+               "the node (two-way loss kills the CFAR peak). With the grazing\n"
+               "corridor wall (y = 0.9 m) the reflector-aware mode re-steers at\n"
+               "the wall, ranges on the double-bounce echo and unfolds the mirror\n"
+               "image: availability stays at 100% and the error actually DROPS\n"
+               "(the echo bearing comes from the surveyed wall, not the noisy\n"
+               "interferometer). The mid-offset wall (y = 2.0 m) cannot carry the\n"
+               "fix: its bounce leaves the node ~127 deg off the FSA boresight,\n"
+               "outside the frequency-scanned beam range, so the echo is never\n"
+               "strong enough to trust — reflector geometry, not just presence,\n"
+               "decides NLoS coverage, and site surveys should favor walls that\n"
+               "graze the AP-node corridor.\n";
+  return 0;
+}

@@ -97,6 +97,28 @@ void BM_FullLocalization(benchmark::State& state) {
 }
 BENCHMARK(BM_FullLocalization)->Unit(benchmark::kMillisecond);
 
+void BM_NlosLocalization(benchmark::State& state) {
+  // Reflector-aware fix under full direct-path blockage: the worst-case
+  // localization cost (two full pipeline passes — node-steered, then
+  // re-steered at the wall — plus the unfold).
+  auto chan = channel::BackscatterChannel::make_default(
+      channel::Environment::anechoic());
+  channel::MultipathConfig mp;
+  mp.walls.push_back({0.5, 0.9, 3.5, 0.9, 10.0});
+  chan.set_multipath(mp);
+  chan.config().blockage_loss_db = 25.0;
+  ap::LocalizerConfig cfg;
+  cfg.reflector_aware = true;
+  const ap::Localizer loc(cfg);
+  Rng rng(5);
+  const channel::NodePose pose{3.0, 0.0, 0.0};
+  for (auto _ : state) {
+    auto r = loc.localize(chan, pose, rng);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NlosLocalization)->Unit(benchmark::kMillisecond);
+
 void BM_OrientationAtAp(benchmark::State& state) {
   Rng env_rng(6);
   const auto chan = channel::BackscatterChannel::make_default(

@@ -31,6 +31,11 @@ Rules:
       reproducible. Wall-clock profiling goes through obs::ProfileScope,
       which records into runtime-class metrics that are excluded from the
       deterministic exports.
+  R10 propagation discipline: no ad-hoc `20*log10(<distance>)` FSPL terms in
+      src/ outside src/milback/channel/ -- path loss must flow through the
+      channel layer (fspl_db / BackscatterChannel path queries) so every
+      consumer sees the same PathSet-aware propagation model instead of a
+      private free-space shortcut that silently ignores multipath.
 
 Exit status is non-zero when any violation is found.
 """
@@ -92,6 +97,18 @@ ROUND_LOOP_ALLOWED_PREFIX = "src/milback/cell/"
 # time; the only sanctioned std::chrono user is the obs profiling scope.
 CHRONO = re.compile(r"\bstd::chrono\b")
 CHRONO_ALLOWED_PREFIX = "src/milback/obs/"
+
+# R10: a hand-rolled free-space-path-loss term (`20*log10(<distance-ish>)`)
+# -- the shortcut that bypasses the channel layer's PathSet-aware
+# propagation. Only flagged when the log10 argument mentions a distance-like
+# quantity, so dB/voltage-ratio conversions (amp2db, constellation penalties)
+# stay legal.
+FSPL_LOG = re.compile(r"\b20(?:\.0*)?[fF]?\s*\*\s*(?:std::)?log10\s*\(([^;]*)\)")
+FSPL_DISTANCE_ARG = re.compile(
+    r"(?:^|[^A-Za-z0-9_])(?:dist\w*|range\w*|length\w*|radius\w*|separation\w*"
+    r"|[A-Za-z0-9_]*_m)\b"
+)
+FSPL_ALLOWED_PREFIX = "src/milback/channel/"
 
 COMMENT_LINE = re.compile(r"^\s*(?://|\*|/\*)")
 
@@ -174,6 +191,15 @@ def lint_file(root: Path, path: Path, errors: list[str]) -> None:
                 " stamp sim time, or profile via obs::ProfileScope"
             )
 
+        if rel.startswith("src/") and not rel.startswith(FSPL_ALLOWED_PREFIX):
+            for m in FSPL_LOG.finditer(line):
+                if FSPL_DISTANCE_ARG.search(m.group(1)):
+                    errors.append(
+                        f"{rel}:{i}: [R10] ad-hoc 20*log10(distance) FSPL outside"
+                        " src/milback/channel/ -- query the channel layer"
+                        " (fspl_db / PathSet)"
+                    )
+
         if is_public_header:
             for name in DOUBLE_DECL.findall(line):
                 name = name.rstrip("_")  # private members carry a trailing `_`
@@ -194,6 +220,7 @@ RULES = (
     ("R7", "cos/sin phasor pair outside src/milback/dsp/ -- use dsp::PhasorOscillator"),
     ("R8", "ad-hoc round time loop outside the cell engine"),
     ("R9", "std::chrono outside src/milback/obs/ -- sim timestamps must be sim time"),
+    ("R10", "ad-hoc 20*log10(distance) FSPL outside src/milback/channel/"),
 )
 
 

@@ -16,10 +16,10 @@ namespace {
 // (beat sample 0 .. n_chirps * samples_per_chirp), one subtrack per stage —
 // a deterministic clock, unlike wall time.
 struct LocObs {
-  obs::Counter calls, detections;
+  obs::Counter calls, detections, nlos_fallback;
   obs::Histogram detection_snr_db;
   std::uint32_t synth_span = 0, fft_span = 0, subtract_span = 0, cfar_span = 0,
-                aoa_span = 0;
+                aoa_span = 0, nlos_span = 0;
 };
 
 const LocObs& loc_obs() {
@@ -28,6 +28,7 @@ const LocObs& loc_obs() {
     LocObs o;
     o.calls = r.counter("ap.localize.calls");
     o.detections = r.counter("ap.localize.detections");
+    o.nlos_fallback = r.counter("loc.nlos_fallback");
     o.detection_snr_db =
         r.histogram("ap.detection_snr_db", obs::HistogramSpec{0.25, 1.15, 50});
     o.synth_span = r.trace_name("ap.synthesize_burst");
@@ -35,6 +36,9 @@ const LocObs& loc_obs() {
     o.subtract_span = r.trace_name("ap.background_subtract");
     o.cfar_span = r.trace_name("ap.cfar");
     o.aoa_span = r.trace_name("ap.aoa");
+    // Spans carry no attributes, so the "nlos" tag is its own trace name:
+    // a fix is NLoS iff an ap.localize.nlos span encloses its aoa stage.
+    o.nlos_span = r.trace_name("ap.localize.nlos");
     return o;
   }();
   return instance;
@@ -82,7 +86,7 @@ Localizer::Localizer(const LocalizerConfig& config) : config_(config) {
 Localizer::BurstPair Localizer::synthesize_burst(
     const BackscatterChannel& channel, const NodePose& pose,
     const std::vector<rf::SwitchState>& port_a_states, double true_slope_scale,
-    double steered_azimuth_deg, milback::Rng& rng) const {
+    double steered_azimuth_deg, milback::Rng& rng, bool steer_amplitudes) const {
   require_positive(pose.distance_m, "pose.distance_m");
   require_finite(pose.azimuth_deg, "pose.azimuth_deg");
   require_finite(pose.orientation_deg, "pose.orientation_deg");
@@ -114,8 +118,26 @@ Localizer::BurstPair Localizer::synthesize_burst(
       channel.ap_rx_antenna().config().boresight_gain_dbi,
       config_.mirror.rcs_m2 * mirror_gate, pose.distance_m,
       config_.chirp.center_frequency_hz());
-  const double a_mirror =
-      std::sqrt(dbm2watt(p_mirror_dbm - channel.config().implementation_loss_two_way_db));
+  // The mirror reflection rides the same geometric corridor as the direct
+  // return, so blockage (and any blocker crossing the direct ray) attenuates
+  // it identically — otherwise its modulation leakage would keep the node
+  // "detectable" straight through a severed path.
+  double direct_extra_loss_db = 2.0 * channel.config().blockage_loss_db;
+  if (!channel.multipath().los_only()) {
+    direct_extra_loss_db +=
+        2.0 * channel.node_path_set(pose).direct().blocker_loss_db;
+  }
+  if (steer_amplitudes) {
+    // A burst genuinely steered off the node bearing: the mirror sits on the
+    // node's corridor and pays the two-way off-steer pattern penalty.
+    direct_extra_loss_db +=
+        2.0 * (channel.ap_tx_antenna().config().boresight_gain_dbi -
+               channel.ap_tx_antenna().gain_dbi(pose.azimuth_deg -
+                                                steered_azimuth_deg));
+  }
+  const double a_mirror = std::sqrt(dbm2watt(
+      p_mirror_dbm - channel.config().implementation_loss_two_way_db -
+      direct_extra_loss_db));
 
   const auto clutter = channel.clutter_returns(config_.chirp.center_frequency_hz(), pose);
   const auto env = fsa_sweep_envelope(channel, pose, true_chirp, fs, n);
@@ -123,15 +145,21 @@ Localizer::BurstPair Localizer::synthesize_burst(
 
   // Build the two path lists once; only the state-dependent amplitudes and
   // the per-chirp clutter drift change inside the burst loop. Backscatter
-  // power is linear in the reflection coefficient, so the node and ghost
+  // power is linear in the reflection coefficient, so the node and echo
   // paths are queried at unit reflection and rescaled per chirp — this
-  // hoists the ghost-geometry query and the per-sample FSA envelope copies
-  // out of the per-chirp loop.
-  const double p_node_unit_w =
-      dbm2watt(channel.backscatter_power_dbm(FsaPort::kA, f_node, pose, 1.0));
+  // hoists the path-geometry query and the per-sample FSA envelope copies
+  // out of the per-chirp loop. `modulated_returns` is the unified PathSet
+  // query: entry 0 is the direct return (blocker-severed when a blocker
+  // crosses it), the rest are clutter-bounce ghosts and wall echoes.
+  const auto returns =
+      steer_amplitudes
+          ? channel.modulated_returns_steered(FsaPort::kA, f_node, pose, 1.0,
+                                              steered_azimuth_deg)
+          : channel.modulated_returns(FsaPort::kA, f_node, pose, 1.0);
+  const double p_node_unit_w = returns.front().power_w;
   const auto ghosts =
       config_.include_multipath_ghosts
-          ? channel.node_ghost_returns(FsaPort::kA, f_node, pose, 1.0)
+          ? std::vector<channel::ReturnPath>(returns.begin() + 1, returns.end())
           : std::vector<channel::ReturnPath>{};
 
   std::vector<radar::PathContribution> paths0, paths1;
@@ -241,55 +269,142 @@ LocalizationResult Localizer::localize(const BackscatterChannel& channel,
       double(radar::samples_per_chirp(config_.chirp, config_.beat_sample_rate_hz)) *
       double(config_.n_chirps);
 
-  obs::Span synth_span(loc_obs().synth_span, 0.0,
-                       obs::trace_lane(obs::kLaneLocalizer, 0));
-  const auto burst = synthesize_burst(channel, pose, states, slope_scale,
-                                      result.steered_azimuth_deg, rng);
-  synth_span.end(burst_samples);
+  // One full synthesize -> FFT -> subtract -> CFAR -> AoA pipeline pass.
+  // The reflector-aware mode runs it twice: once steered at the node and,
+  // when a wall echo should dominate, once re-steered at the wall bearing.
+  struct PassResult {
+    bool detected = false;
+    double range_m = 0.0;
+    double snr_db = 0.0;
+    std::optional<double> aoa_offset_deg;
+    double angle_deg = 0.0;
+  };
+  const auto run_pass = [&](double steer_deg, bool steer_amplitudes) {
+    PassResult pass;
+    obs::Span synth_span(loc_obs().synth_span, 0.0,
+                         obs::trace_lane(obs::kLaneLocalizer, 0));
+    const auto burst = synthesize_burst(channel, pose, states, slope_scale,
+                                        steer_deg, rng, steer_amplitudes);
+    synth_span.end(burst_samples);
 
-  obs::Span fft_span(loc_obs().fft_span, 0.0,
-                     obs::trace_lane(obs::kLaneLocalizer, 1));
-  std::vector<radar::RangeSpectrum> spectra0, spectra1;
-  for (std::size_t i = 0; i < burst.rx0.size(); ++i) {
-    spectra0.push_back(
-        radar::range_fft(burst.rx0[i], config_.beat_sample_rate_hz, config_.chirp,
-                         config_.fft));
-    spectra1.push_back(
-        radar::range_fft(burst.rx1[i], config_.beat_sample_rate_hz, config_.chirp,
-                         config_.fft));
+    obs::Span fft_span(loc_obs().fft_span, 0.0,
+                       obs::trace_lane(obs::kLaneLocalizer, 1));
+    std::vector<radar::RangeSpectrum> spectra0, spectra1;
+    for (std::size_t i = 0; i < burst.rx0.size(); ++i) {
+      spectra0.push_back(
+          radar::range_fft(burst.rx0[i], config_.beat_sample_rate_hz, config_.chirp,
+                           config_.fft));
+      spectra1.push_back(
+          radar::range_fft(burst.rx1[i], config_.beat_sample_rate_hz, config_.chirp,
+                           config_.fft));
+    }
+    fft_span.end(burst_samples);
+
+    obs::Span subtract_span(loc_obs().subtract_span, 0.0,
+                            obs::trace_lane(obs::kLaneLocalizer, 2));
+    const auto sub0 = radar::background_subtract(spectra0);
+    const auto sub1 = radar::background_subtract(spectra1);
+    subtract_span.end(burst_samples);
+
+    const double n_bins = double(sub0.first_difference.size());
+    obs::Span cfar_span(loc_obs().cfar_span, 0.0,
+                        obs::trace_lane(obs::kLaneLocalizer, 3));
+    const auto det = radar::estimate_range(sub0, spectra0.front(), config_.range);
+    cfar_span.end(n_bins);
+    if (!det) return pass;
+
+    pass.detected = true;
+    pass.range_m = det->range_m;
+    pass.snr_db = det->snr_db;
+
+    // Angle: phase of the first difference spectrum at the detected bin.
+    const auto bin = std::size_t(std::llround(det->bin));
+    if (bin < sub0.first_difference.size() && bin < sub1.first_difference.size()) {
+      obs::Span aoa_span(loc_obs().aoa_span, double(bin),
+                         obs::trace_lane(obs::kLaneLocalizer, 4));
+      pass.aoa_offset_deg = radar::estimate_offset_deg(
+          sub0.first_difference[bin], sub1.first_difference[bin], config_.aoa);
+      aoa_span.end(double(bin + 1));
+    }
+    pass.angle_deg = steer_deg + pass.aoa_offset_deg.value_or(0.0);
+    return pass;
+  };
+
+  const PassResult first = run_pass(result.steered_azimuth_deg,
+                                    /*steer_amplitudes=*/false);
+  if (first.detected) {
+    result.detected = true;
+    result.range_m = first.range_m;
+    result.detection_snr_db = first.snr_db;
+    result.aoa_offset_deg = first.aoa_offset_deg;
+    result.angle_deg = first.angle_deg;
   }
-  fft_span.end(burst_samples);
 
-  obs::Span subtract_span(loc_obs().subtract_span, 0.0,
-                          obs::trace_lane(obs::kLaneLocalizer, 2));
-  const auto sub0 = radar::background_subtract(spectra0);
-  const auto sub1 = radar::background_subtract(spectra1);
-  subtract_span.end(burst_samples);
-
-  const double n_bins = double(sub0.first_difference.size());
-  obs::Span cfar_span(loc_obs().cfar_span, 0.0,
-                      obs::trace_lane(obs::kLaneLocalizer, 3));
-  const auto det = radar::estimate_range(sub0, spectra0.front(), config_.range);
-  cfar_span.end(n_bins);
-  if (!det) return result;
-
-  result.detected = true;
-  result.range_m = det->range_m;
-  result.detection_snr_db = det->snr_db;
-  loc_obs().detections.add();
-  loc_obs().detection_snr_db.record(det->snr_db);
-
-  // Angle: phase of the first difference spectrum at the detected bin.
-  const auto bin = std::size_t(std::llround(det->bin));
-  if (bin < sub0.first_difference.size() && bin < sub1.first_difference.size()) {
-    obs::Span aoa_span(loc_obs().aoa_span, double(bin),
-                       obs::trace_lane(obs::kLaneLocalizer, 4));
-    result.aoa_offset_deg = radar::estimate_offset_deg(
-        sub0.first_difference[bin], sub1.first_difference[bin], config_.aoa);
-    aoa_span.end(double(bin + 1));
+  // Reflector-aware NLoS fallback (N2LoS): when a wall echo re-steered at
+  // full horn gain would dominate the blocked direct return, fire a second
+  // burst at the wall bearing. The detected peak there IS the double-bounce
+  // echo — its range is the one-way indirect path length and its AoA points
+  // at the wall, so unfolding the specular image recovers the node position.
+  if (config_.reflector_aware && !channel.multipath().los_only()) {
+    const auto aligned =
+        channel.fsa().beam_frequency_hz(FsaPort::kA, pose.orientation_deg);
+    const double f_node = aligned.value_or(config_.chirp.center_frequency_hz());
+    const auto ps = channel.node_path_set(pose);
+    const double direct_blocker_db = ps.direct().blocker_loss_db;
+    const channel::PropPath* strongest = nullptr;
+    double best_advantage_db = config_.nlos_margin_db;
+    for (const auto& p : ps.paths) {
+      if (p.bounces == 0 || p.severed()) continue;
+      const double advantage_db = channel.indirect_return_advantage_db(
+          FsaPort::kA, f_node, pose, p, direct_blocker_db,
+          /*horn_steer_azimuth_deg=*/p.aoa_deg);
+      if (advantage_db > best_advantage_db) {
+        best_advantage_db = advantage_db;
+        strongest = &p;
+      }
+    }
+    if (strongest != nullptr && strongest->wall >= 0) {
+      const double steer2_deg =
+          strongest->aoa_deg +
+          rng.gaussian(0.0, channel.config().steering_error_sigma_deg);
+      const PassResult echo = run_pass(steer2_deg, /*steer_amplitudes=*/true);
+      if (echo.detected) {
+        // The detected range is the echo's one-way path length. Its bearing
+        // is measured when it falls inside the interferometer's unambiguous
+        // window around the predicted wall bearing; otherwise the surveyed
+        // wall map resolves the phase-wrap ambiguity.
+        const double half_deg = radar::unambiguous_halfwidth_deg(config_.aoa);
+        const double bearing_deg =
+            std::abs(echo.angle_deg - strongest->aoa_deg) <= half_deg
+                ? echo.angle_deg
+                : strongest->aoa_deg;
+        double nx = 0.0, ny = 0.0;
+        const auto& wall =
+            channel.multipath().walls[std::size_t(strongest->wall)];
+        if (channel::nlos_unfold(wall, echo.range_m, bearing_deg, &nx, &ny)) {
+          // The "nlos" tag on this fix: a span on its own subtrack enclosing
+          // the burst (spans carry no attributes).
+          obs::Span nlos_span(loc_obs().nlos_span, 0.0,
+                              obs::trace_lane(obs::kLaneLocalizer, 5));
+          result.detected = true;
+          result.range_m = std::hypot(nx, ny);
+          result.angle_deg = rad2deg(std::atan2(ny, nx));
+          result.detection_snr_db = echo.snr_db;
+          result.aoa_offset_deg = echo.aoa_offset_deg;
+          result.steered_azimuth_deg = steer2_deg;
+          result.nlos_fallback = true;
+          result.reflector_wall = strongest->wall;
+          loc_obs().nlos_fallback.add();
+          nlos_span.end(burst_samples);
+        }
+      }
+    }
   }
-  result.angle_deg =
-      result.steered_azimuth_deg + result.aoa_offset_deg.value_or(0.0);
+
+  if (result.detected) {
+    loc_obs().detections.add();
+    loc_obs().detection_snr_db.record(result.detection_snr_db);
+  }
   return result;
 }
 

@@ -40,6 +40,14 @@ struct LocalizerConfig {
                                          ///< of the node's modulated return
                                          ///< (they survive subtraction and
                                          ///< appear at longer range).
+  bool reflector_aware = false;  ///< NLoS fallback (N2LoS): when the direct
+                                 ///< path is severed and a wall echo
+                                 ///< dominates, range on the strongest
+                                 ///< indirect path and unfold the mirror
+                                 ///< image back to the node position.
+  double nlos_margin_db = 3.0;   ///< How far the echo must rise above the
+                                 ///< blocked direct return to trigger the
+                                 ///< fallback.
 };
 
 /// One localization fix.
@@ -50,6 +58,10 @@ struct LocalizationResult {
   double detection_snr_db = 0.0;  ///< Peak over subtraction-floor ratio.
   std::optional<double> aoa_offset_deg;  ///< Phase-derived offset from steering.
   double steered_azimuth_deg = 0.0;      ///< Where the horns actually pointed.
+  bool nlos_fallback = false;  ///< Fix came from the reflector-aware path
+                               ///< (range/angle carry the mirror-image
+                               ///< correction).
+  int reflector_wall = -1;     ///< Wall index used for the correction.
 };
 
 /// The AP's FMCW localization engine.
@@ -73,11 +85,16 @@ class Localizer {
   /// Builds the five-chirp beat signals for both RX antennas (exposed for
   /// the orientation sensor and for tests). `port_a_states[i]` is the node's
   /// port-A switch state during chirp i; port B absorbs throughout.
+  /// `steer_amplitudes` models a burst whose horns really point at
+  /// `steered_azimuth_deg` (the reflector-aware second pass at a wall
+  /// bearing): path powers pay/gain the horn pattern relative to that steer
+  /// instead of assuming the node bearing. The default keeps the legacy
+  /// behavior where the steer only sets the AoA phase reference.
   BurstPair synthesize_burst(const channel::BackscatterChannel& channel,
                              const channel::NodePose& pose,
                              const std::vector<rf::SwitchState>& port_a_states,
                              double true_slope_scale, double steered_azimuth_deg,
-                             milback::Rng& rng) const;
+                             milback::Rng& rng, bool steer_amplitudes = false) const;
 
   /// Config echo.
   const LocalizerConfig& config() const noexcept { return config_; }

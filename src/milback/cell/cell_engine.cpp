@@ -204,13 +204,25 @@ void CellEngine::ensure_session(std::size_t i) {
 }
 
 void CellEngine::apply_channel_loss() {
-  // Blockage episodes and co-channel interference fold into the same
-  // one-way loss term of the link budget.
-  const double loss_db = blockage_db_ + external_db_;
-  link_.channel().config().blockage_loss_db = loss_db;
+  // Blockage episodes hit only the DIRECT path (a configured reflector
+  // routes around them); co-channel interference is ambient and degrades
+  // every path. Both flow through the same PathSet budget queries.
+  link_.channel().config().blockage_loss_db = blockage_db_;
+  link_.channel().config().ambient_loss_db = external_db_;
   for (auto& s : nodes_.session) {
-    if (s) s->link().channel().config().blockage_loss_db = loss_db;
+    if (s) {
+      auto& cfg = s->link().channel().config();
+      cfg.blockage_loss_db = blockage_db_;
+      cfg.ambient_loss_db = external_db_;
+    }
   }
+}
+
+void CellEngine::set_multipath(channel::MultipathConfig multipath) {
+  for (auto& s : nodes_.session) {
+    if (s) s->link().channel().set_multipath(multipath);
+  }
+  link_.channel().set_multipath(std::move(multipath));
 }
 
 void CellEngine::set_external_interference_db(double loss_db) {
@@ -267,6 +279,18 @@ void CellEngine::dispatch_service(const Event& e) {
   service_scheduled_ = false;
   const auto alive = alive_indices();
   if (alive.empty()) return;  // a later join re-wakes the sweep
+
+  // Advance the path clock serially before fanning out: moving blockers are
+  // evaluated at the sweep time, and every worker sees the same frozen
+  // geometry (thread-count invariant by construction).
+  link_.channel().set_path_time_s(e.time_s);
+  if (config_.run_sessions) {
+    for (const auto i : alive) {
+      if (nodes_.session[i]) {
+        nodes_.session[i]->link().channel().set_path_time_s(e.time_s);
+      }
+    }
+  }
 
   // Rate recomputation fans out on the TrialRunner: each trial touches only
   // its own node and derives randomness from (seed[, cell], node, event

@@ -154,8 +154,17 @@ class CellEngine {
                      const channel::NodePose& pose);
 
   /// Schedules a blockage episode: `loss_db` of extra one-way path loss on
-  /// every AP-node link from `start_s` to `end_s`.
+  /// the DIRECT path of every AP-node link from `start_s` to `end_s`.
+  /// With a multipath scene installed (set_multipath) the loss severs only
+  /// the direct ray; service rates are recomputed from the surviving
+  /// reflector paths. Without one this degenerates to the legacy binary
+  /// link gate.
   void schedule_blockage(double start_s, double end_s, double loss_db);
+
+  /// Installs the scene geometry (walls + moving blockers) on the cell's
+  /// channel and every live session's channel copy. Call before begin();
+  /// the per-sweep path clock is advanced by the service dispatcher.
+  void set_multipath(channel::MultipathConfig multipath);
 
   /// Installs the per-service observer (benches tap per-sweep detail here).
   void set_observer(ServiceObserver observer) { observer_ = std::move(observer); }

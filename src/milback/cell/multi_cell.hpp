@@ -127,6 +127,14 @@ class MultiCellEngine {
   /// Schedules the node's departure from the network.
   void schedule_leave(std::size_t node, double time_s);
 
+  /// Installs the same scene geometry (walls + moving blockers) on every
+  /// shard's channel. Wall coordinates are interpreted in each cell's own
+  /// AP-centric frame — the common case is a shared floor-plan motif
+  /// (corridor wall at a fixed offset from every AP). Call before run().
+  void set_multipath(const channel::MultipathConfig& multipath) {
+    for (auto& e : engines_) e->set_multipath(multipath);
+  }
+
   /// Runs `duration_s` of network time. Single-shot, like CellEngine::run;
   /// the report is a pure function of (scenario, seed) at any worker count.
   MultiCellReport run(double duration_s, std::uint64_t seed);

@@ -1,12 +1,43 @@
 #include "milback/channel/backscatter_channel.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "milback/core/contract.hpp"
+#include "milback/obs/registry.hpp"
 #include "milback/rf/noise.hpp"
 #include "milback/util/units.hpp"
 
 namespace milback::channel {
+
+namespace {
+
+// Path-census telemetry: how many propagation paths survive vs get severed
+// by blockers across all PathSet queries. Counter adds are commutative, so
+// the totals are thread-count invariant.
+struct ChannelObs {
+  obs::Counter paths_active, blockage_sever;
+};
+
+const ChannelObs& channel_obs() {
+  static const ChannelObs instance = [] {
+    auto& r = obs::Registry::global();
+    ChannelObs o;
+    o.paths_active = r.counter("channel.paths_active");
+    o.blockage_sever = r.counter("channel.blockage_sever");
+    return o;
+  }();
+  return instance;
+}
+
+// Hybrid (one direct + one bounced leg) pairs coincide in delay; the two
+// orderings add as a +3 dB pair, same convention as the clutter ghosts.
+constexpr double kHybridPairGainDb = 3.0;
+// Echoes more than this far below the strongest modulated return are
+// dropped (same floor the legacy ghost query uses).
+constexpr double kEchoFloorDb = 40.0;
+
+}  // namespace
 
 BackscatterChannel::BackscatterChannel(ChannelConfig config, rf::HornAntenna ap_tx,
                                        rf::HornAntenna ap_rx, antenna::DualPortFsa fsa,
@@ -23,6 +54,7 @@ BackscatterChannel::BackscatterChannel(ChannelConfig config, rf::HornAntenna ap_
   require_non_negative(config_.implementation_loss_two_way_db,
                        "implementation_loss_two_way_db");
   require_non_negative(config_.blockage_loss_db, "blockage_loss_db");
+  require_non_negative(config_.ambient_loss_db, "ambient_loss_db");
   require_positive(config_.ap_antenna_baseline_m, "ap_antenna_baseline_m");
   require_non_negative(config_.steering_error_sigma_deg, "steering_error_sigma_deg");
 }
@@ -42,7 +74,8 @@ double BackscatterChannel::incident_port_power_dbm(antenna::FsaPort port, double
   const double node_gain = fsa_.gain_dbi(port, f_hz, pose.orientation_deg);
   return friis_dbm(config_.tx_power_dbm, ap_tx_.config().boresight_gain_dbi, node_gain,
                    pose.distance_m, f_hz) -
-         config_.implementation_loss_one_way_db - config_.blockage_loss_db;
+         config_.implementation_loss_one_way_db - config_.blockage_loss_db -
+         config_.ambient_loss_db;
 }
 
 double BackscatterChannel::cross_port_power_dbm(antenna::FsaPort intended_port, double f_hz,
@@ -52,7 +85,8 @@ double BackscatterChannel::cross_port_power_dbm(antenna::FsaPort intended_port, 
   const double node_gain = fsa_.gain_dbi(other, f_hz, pose.orientation_deg);
   return friis_dbm(config_.tx_power_dbm, ap_tx_.config().boresight_gain_dbi, node_gain,
                    pose.distance_m, f_hz) -
-         config_.implementation_loss_one_way_db - config_.blockage_loss_db;
+         config_.implementation_loss_one_way_db - config_.blockage_loss_db -
+         config_.ambient_loss_db;
 }
 
 double BackscatterChannel::backscatter_power_dbm(antenna::FsaPort port, double f_hz,
@@ -62,7 +96,8 @@ double BackscatterChannel::backscatter_power_dbm(antenna::FsaPort port, double f
   return backscatter_dbm(config_.tx_power_dbm, ap_tx_.config().boresight_gain_dbi,
                          ap_rx_.config().boresight_gain_dbi, node_gain, node_gain,
                          reflect_power_coeff, pose.distance_m, f_hz) -
-         config_.implementation_loss_two_way_db - 2.0 * config_.blockage_loss_db;
+         config_.implementation_loss_two_way_db - 2.0 * config_.blockage_loss_db -
+         2.0 * config_.ambient_loss_db;
 }
 
 ReturnPath BackscatterChannel::node_return(antenna::FsaPort port, double f_hz,
@@ -151,6 +186,247 @@ std::vector<ReturnPath> BackscatterChannel::node_ghost_returns(
     out.push_back(r);
   }
   return out;
+}
+
+void BackscatterChannel::set_multipath(MultipathConfig multipath) {
+  for (const auto& w : multipath.walls) {
+    require_finite(w.x1_m, "wall.x1_m");
+    require_finite(w.y1_m, "wall.y1_m");
+    require_finite(w.x2_m, "wall.x2_m");
+    require_finite(w.y2_m, "wall.y2_m");
+    require_non_negative(w.reflection_loss_db, "wall.reflection_loss_db");
+    MILBACK_REQUIRE(std::hypot(w.x2_m - w.x1_m, w.y2_m - w.y1_m) > 0.0,
+                    "set_multipath: wall endpoints must be distinct");
+  }
+  for (const auto& b : multipath.blockers) {
+    require_finite(b.x_m, "blocker.x_m");
+    require_finite(b.y_m, "blocker.y_m");
+    require_finite(b.vx_mps, "blocker.vx_mps");
+    require_finite(b.vy_mps, "blocker.vy_mps");
+    require_positive(b.radius_m, "blocker.radius_m");
+    require_non_negative(b.penetration_loss_db, "blocker.penetration_loss_db");
+  }
+  multipath_ = std::move(multipath);
+}
+
+void BackscatterChannel::set_path_time_s(double time_s) {
+  require_finite(time_s, "path time_s");
+  path_time_s_ = time_s;
+}
+
+PathSet BackscatterChannel::node_path_set(const NodePose& pose) const {
+  require_positive(pose.distance_m, "pose.distance_m");
+  require_finite(pose.azimuth_deg, "pose.azimuth_deg");
+  const double nx = pose.distance_m * std::cos(deg2rad(pose.azimuth_deg));
+  const double ny = pose.distance_m * std::sin(deg2rad(pose.azimuth_deg));
+  PathSet set = trace_paths(multipath_, nx, ny, path_time_s_);
+  channel_obs().paths_active.add(set.active_count());
+  channel_obs().blockage_sever.add(set.severed_count());
+  return set;
+}
+
+double BackscatterChannel::one_way_path_delta_db(antenna::FsaPort gain_port, double f_hz,
+                                                 const NodePose& pose,
+                                                 const PropPath& path, bool swept_fsa,
+                                                 double horn_steer_deg) const {
+  require_positive(f_hz, "f_hz");
+  require_finite(horn_steer_deg, "horn_steer_deg");
+  MILBACK_REQUIRE(path.bounces > 0, "one_way_path_delta_db: indirect path expected");
+  const double spread_db = fspl_db(path.length_m, f_hz) - fspl_db(pose.distance_m, f_hz);
+  // Horn pattern penalty on the bounce bearing relative to wherever the AP
+  // horns point: a burst steered at the node pays the off-steer loss on the
+  // wall bearing; a reflector-aware AP re-steering at the wall
+  // (`horn_steer_deg == path.aoa_deg`) recovers full gain there.
+  const double horn_delta_db = ap_tx_.gain_dbi(path.aoa_deg - horn_steer_deg) -
+                               ap_tx_.config().boresight_gain_dbi;
+  // FSA pattern at the bounce arrival angle relative to the node boresight
+  // (same construction the clutter-ghost query uses).
+  const double nx = pose.distance_m * std::cos(deg2rad(pose.azimuth_deg));
+  const double ny = pose.distance_m * std::sin(deg2rad(pose.azimuth_deg));
+  const double boresight = std::atan2(-ny, -nx) + deg2rad(pose.orientation_deg);
+  const double node_angle_deg =
+      rad2deg(wrap_radians(deg2rad(path.aod_deg) - boresight));
+  // Swept (FMCW) queries: the chirp crosses the bounce angle's own aligned
+  // frequency, so the frequency-scanned FSA illuminates the indirect path
+  // at close to full gain at some point in the sweep. Fixed-tone (comms)
+  // queries see the pattern at the tone frequency only.
+  double bounce_gain_dbi;
+  if (swept_fsa) {
+    const auto f_own = fsa_.beam_frequency_hz(gain_port, node_angle_deg);
+    bounce_gain_dbi = f_own ? fsa_.gain_dbi(gain_port, *f_own, node_angle_deg)
+                            : fsa_.gain_dbi(gain_port, f_hz, node_angle_deg);
+  } else {
+    bounce_gain_dbi = fsa_.gain_dbi(gain_port, f_hz, node_angle_deg);
+  }
+  const double fsa_delta_db =
+      bounce_gain_dbi - fsa_.gain_dbi(gain_port, f_hz, pose.orientation_deg);
+  return -spread_db + horn_delta_db + fsa_delta_db - path.bounce_loss_db -
+         path.blocker_loss_db;
+}
+
+double BackscatterChannel::best_one_way_delta_db(antenna::FsaPort gain_port, double f_hz,
+                                                 const NodePose& pose) const {
+  const PathSet set = node_path_set(pose);
+  double best = -set.direct().blocker_loss_db;
+  for (const auto& p : set.paths) {
+    if (p.bounces == 0) continue;
+    // Indirect paths skip the direct-path blockage term baked into the
+    // legacy budget, hence the +blockage compensation.
+    best = std::max(best, config_.blockage_loss_db +
+                              one_way_path_delta_db(gain_port, f_hz, pose, p,
+                                                    /*swept_fsa=*/false,
+                                                    /*horn_steer_deg=*/p.aoa_deg));
+  }
+  return best;
+}
+
+double BackscatterChannel::best_two_way_delta_db(antenna::FsaPort port, double f_hz,
+                                                 const NodePose& pose) const {
+  const PathSet set = node_path_set(pose);
+  const double direct_blocker_db = set.direct().blocker_loss_db;
+  double best = -2.0 * direct_blocker_db;
+  for (const auto& p : set.paths) {
+    if (p.bounces == 0) continue;
+    const double delta_db = one_way_path_delta_db(port, f_hz, pose, p,
+                                                  /*swept_fsa=*/false,
+                                                  /*horn_steer_deg=*/p.aoa_deg);
+    // Hybrid pair: one leg direct (keeps blockage and blockers), one bounced.
+    best = std::max(best, config_.blockage_loss_db - direct_blocker_db + delta_db +
+                              kHybridPairGainDb);
+    // Double bounce: both legs route around the blockage entirely.
+    best = std::max(best, 2.0 * (config_.blockage_loss_db + delta_db));
+  }
+  return best;
+}
+
+double BackscatterChannel::best_path_incident_power_dbm(antenna::FsaPort port, double f_hz,
+                                                        const NodePose& pose) const {
+  require_positive(f_hz, "f_hz");
+  const double base_dbm = incident_port_power_dbm(port, f_hz, pose);
+  if (multipath_.los_only()) return base_dbm;
+  return base_dbm + best_one_way_delta_db(port, f_hz, pose);
+}
+
+double BackscatterChannel::best_path_cross_port_power_dbm(antenna::FsaPort intended_port,
+                                                          double f_hz,
+                                                          const NodePose& pose) const {
+  require_positive(f_hz, "f_hz");
+  const double base_dbm = cross_port_power_dbm(intended_port, f_hz, pose);
+  if (multipath_.los_only()) return base_dbm;
+  return base_dbm +
+         best_one_way_delta_db(antenna::other_port(intended_port), f_hz, pose);
+}
+
+double BackscatterChannel::best_path_backscatter_power_dbm(
+    antenna::FsaPort port, double f_hz, const NodePose& pose,
+    double reflect_power_coeff) const {
+  require_positive(f_hz, "f_hz");
+  require_non_negative(reflect_power_coeff, "reflect_power_coeff");
+  const double base_dbm = backscatter_power_dbm(port, f_hz, pose, reflect_power_coeff);
+  if (multipath_.los_only()) return base_dbm;
+  return base_dbm + best_two_way_delta_db(port, f_hz, pose);
+}
+
+double BackscatterChannel::indirect_return_advantage_db(
+    antenna::FsaPort port, double f_hz, const NodePose& pose,
+    const PropPath& indirect, double direct_blocker_loss_db,
+    double horn_steer_azimuth_deg) const {
+  require_non_negative(direct_blocker_loss_db, "direct_blocker_loss_db");
+  // double-bounce echo minus the node-steered (blocked) direct return:
+  //   (base + 2*blockage + 2*delta) - (base - 2*direct_blocker).
+  // Swept FSA; the horn term inside delta reflects wherever the AP points
+  // the burst (the wall bearing for a reflector-aware second pass).
+  return 2.0 * (config_.blockage_loss_db +
+                one_way_path_delta_db(port, f_hz, pose, indirect,
+                                      /*swept_fsa=*/true, horn_steer_azimuth_deg) +
+                direct_blocker_loss_db);
+}
+
+std::vector<ReturnPath> BackscatterChannel::modulated_returns(
+    antenna::FsaPort port, double f_hz, const NodePose& pose,
+    double reflect_power_coeff) const {
+  require_positive(f_hz, "f_hz");
+  return modulated_returns_impl(port, f_hz, pose, reflect_power_coeff,
+                                pose.azimuth_deg);
+}
+
+std::vector<ReturnPath> BackscatterChannel::modulated_returns_steered(
+    antenna::FsaPort port, double f_hz, const NodePose& pose,
+    double reflect_power_coeff, double steer_azimuth_deg) const {
+  require_finite(steer_azimuth_deg, "steer_azimuth_deg");
+  return modulated_returns_impl(port, f_hz, pose, reflect_power_coeff,
+                                steer_azimuth_deg);
+}
+
+std::vector<ReturnPath> BackscatterChannel::modulated_returns_impl(
+    antenna::FsaPort port, double f_hz, const NodePose& pose,
+    double reflect_power_coeff, double steer_azimuth_deg) const {
+  ReturnPath direct = node_return(port, f_hz, pose, reflect_power_coeff);
+  std::vector<ReturnPath> out;
+  out.push_back(direct);
+  auto ghosts = node_ghost_returns(port, f_hz, pose, reflect_power_coeff);
+  out.insert(out.end(), ghosts.begin(), ghosts.end());
+  if (multipath_.los_only()) return out;  // bit-exact legacy decomposition
+
+  // Off-steer penalty of the node bearing itself: exactly 0.0 when the burst
+  // is steered at the node (gain(0) is the boresight value), so the ordinary
+  // `modulated_returns` path stays bit-identical.
+  const double boresight_dbi = ap_tx_.config().boresight_gain_dbi;
+  const double node_off_steer_db =
+      boresight_dbi - ap_tx_.gain_dbi(pose.azimuth_deg - steer_azimuth_deg);
+
+  const PathSet set = node_path_set(pose);
+  const double direct_blocker_db = set.direct().blocker_loss_db;
+  const double direct_extra_db = 2.0 * (direct_blocker_db + node_off_steer_db);
+  if (direct_extra_db != 0.0) {
+    out.front().power_w *= db2lin(-direct_extra_db);
+  }
+  if (node_off_steer_db != 0.0) {
+    // Legacy clutter ghosts have one leg toward the node: a steered burst
+    // pays the node off-steer penalty on that leg (the other leg keeps its
+    // own pattern offset, a conservative approximation).
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      out[i].power_w *= db2lin(-node_off_steer_db);
+    }
+  }
+
+  const double base_dbm = backscatter_power_dbm(port, f_hz, pose, reflect_power_coeff);
+  for (const auto& p : set.paths) {
+    if (p.bounces == 0) continue;
+    const double delta_db = one_way_path_delta_db(port, f_hz, pose, p,
+                                                  /*swept_fsa=*/true,
+                                                  /*horn_steer_deg=*/steer_azimuth_deg);
+
+    ReturnPath hybrid;
+    hybrid.delay_s = (pose.distance_m + p.length_m) / kSpeedOfLight;
+    hybrid.power_w = dbm2watt(base_dbm + config_.blockage_loss_db - direct_blocker_db -
+                              node_off_steer_db + delta_db + kHybridPairGainDb);
+    hybrid.azimuth_deg = 0.5 * (pose.azimuth_deg + p.aoa_deg);  // smeared AoA
+    hybrid.modulated = true;
+    out.push_back(hybrid);
+
+    ReturnPath echo;
+    echo.delay_s = 2.0 * p.length_m / kSpeedOfLight;
+    echo.power_w =
+        dbm2watt(base_dbm + 2.0 * (config_.blockage_loss_db + delta_db));
+    echo.azimuth_deg = p.aoa_deg;  // arrives from the wall: the NLoS bearing
+    echo.modulated = true;
+    out.push_back(echo);
+  }
+
+  double strongest_w = 0.0;
+  for (const auto& r : out) strongest_w = std::max(strongest_w, r.power_w);
+  const double floor_w = strongest_w * db2lin(-kEchoFloorDb);
+  std::vector<ReturnPath> kept;
+  kept.reserve(out.size());
+  // Entry 0 stays the direct return even when severed below the floor —
+  // consumers index the node path at the front of the list.
+  kept.push_back(out.front());
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i].power_w >= floor_w) kept.push_back(out[i]);
+  }
+  MILBACK_ENSURE(!kept.empty(), "modulated_returns: direct return kept");
+  return kept;
 }
 
 double BackscatterChannel::ap_noise_floor_w(double bandwidth_hz) const noexcept {

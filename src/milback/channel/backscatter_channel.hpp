@@ -12,6 +12,7 @@
 
 #include "milback/antenna/fsa.hpp"
 #include "milback/channel/environment.hpp"
+#include "milback/channel/multipath.hpp"
 #include "milback/channel/propagation.hpp"
 #include "milback/rf/horn_antenna.hpp"
 #include "milback/rf/rf_switch.hpp"
@@ -52,11 +53,20 @@ struct ChannelConfig {
                                            ///< subtraction depth).
   double chirp_phase_drift_rad = 1e-3;     ///< Chirp-to-chirp clutter phase drift
                                            ///< (VXG-class chirp coherence).
-  double blockage_loss_db = 0.0;           ///< Extra one-way loss on the AP-node
-                                           ///< path (a human body at 28 GHz
-                                           ///< costs ~20-30 dB); applied twice
-                                           ///< on backscatter paths. Clutter
-                                           ///< paths are unaffected.
+  double blockage_loss_db = 0.0;           ///< Extra one-way loss on the DIRECT
+                                           ///< AP-node path (a human body at
+                                           ///< 28 GHz costs ~20-30 dB); applied
+                                           ///< twice on backscatter paths.
+                                           ///< Indirect (wall-bounce) paths and
+                                           ///< clutter are unaffected, which is
+                                           ///< what lets a reflector carry the
+                                           ///< link through blockage.
+  double ambient_loss_db = 0.0;            ///< Extra one-way loss applied to
+                                           ///< EVERY path (co-channel
+                                           ///< interference folded as an
+                                           ///< SNR penalty); unlike blockage it
+                                           ///< cannot be routed around via a
+                                           ///< reflector.
 };
 
 /// One propagation path the FMCW receiver sees (clutter or node return).
@@ -120,6 +130,71 @@ class BackscatterChannel {
                                              double reflect_power_coeff,
                                              double ghost_bounce_loss_db = 10.0) const;
 
+  /// --- Multipath (PathSet queries) -----------------------------------------
+  ///
+  /// With a non-trivial `MultipathConfig` installed, the channel stops being
+  /// a single ray: every budget query below maximizes over the surviving
+  /// paths, and `modulated_returns` superposes per-path echoes. With the
+  /// default LoS-only config each query returns the legacy single-ray value
+  /// bit-for-bit (enforced by the NLoS regression suite).
+
+  /// Installs the scene geometry (walls + moving blockers).
+  void set_multipath(MultipathConfig multipath);
+  const MultipathConfig& multipath() const noexcept { return multipath_; }
+
+  /// Sim time at which moving blockers are evaluated for subsequent path
+  /// queries. Set serially (e.g. by the cell engine before fanning a service
+  /// sweep out to workers) so traced path sets stay thread-invariant.
+  void set_path_time_s(double time_s);
+  double path_time_s() const noexcept { return path_time_s_; }
+
+  /// Traces the current path set to the node (records path-census obs).
+  PathSet node_path_set(const NodePose& pose) const;
+
+  /// Downlink power [dBm] over the best surviving path (legacy
+  /// `incident_port_power_dbm` in the LoS-only case).
+  double best_path_incident_power_dbm(antenna::FsaPort port, double f_hz,
+                                      const NodePose& pose) const;
+
+  /// Cross-port interference [dBm] over the best surviving path.
+  double best_path_cross_port_power_dbm(antenna::FsaPort intended_port, double f_hz,
+                                        const NodePose& pose) const;
+
+  /// Backscattered power [dBm] over the best surviving round-trip path pair
+  /// (legacy `backscatter_power_dbm` in the LoS-only case).
+  double best_path_backscatter_power_dbm(antenna::FsaPort port, double f_hz,
+                                         const NodePose& pose,
+                                         double reflect_power_coeff) const;
+
+  /// Every modulated return the FMCW receiver sees: entry 0 is the direct
+  /// node return (with blocker severing applied), followed by the legacy
+  /// clutter-bounce ghosts and, when walls are configured, the wall echoes
+  /// (hybrid direct+bounce pairs and double-bounce paths). Entries more than
+  /// 40 dB below the strongest are dropped. Reduces exactly to
+  /// `node_return` + `node_ghost_returns` in the LoS-only case.
+  std::vector<ReturnPath> modulated_returns(antenna::FsaPort port, double f_hz,
+                                            const NodePose& pose,
+                                            double reflect_power_coeff) const;
+
+  /// `modulated_returns` for a burst whose horns are mechanically steered at
+  /// `steer_azimuth_deg` instead of the node — the second pass a
+  /// reflector-aware localizer fires at a wall bearing. The direct return
+  /// (and each legacy clutter ghost) pays the off-steer pattern penalty while
+  /// wall echoes near the steer bearing are received at full horn gain.
+  std::vector<ReturnPath> modulated_returns_steered(antenna::FsaPort port, double f_hz,
+                                                    const NodePose& pose,
+                                                    double reflect_power_coeff,
+                                                    double steer_azimuth_deg) const;
+
+  /// How much stronger [dB] the double-bounce echo on `indirect` is than the
+  /// node-steered (blocked) direct return when the AP re-steers its horns at
+  /// `horn_steer_azimuth_deg`; positive means the echo dominates and a
+  /// reflector-aware localizer should fire a steered burst and range on it.
+  double indirect_return_advantage_db(antenna::FsaPort port, double f_hz,
+                                      const NodePose& pose, const PropPath& indirect,
+                                      double direct_blocker_loss_db,
+                                      double horn_steer_azimuth_deg) const;
+
   /// --- Noise ---------------------------------------------------------------
 
   /// AP thermal noise floor [W] in `bandwidth_hz` including the RX noise figure.
@@ -141,11 +216,36 @@ class BackscatterChannel {
   Environment& environment() noexcept { return environment_; }
 
  private:
+  /// One-way gain/loss of an indirect path relative to the ideal unblocked
+  /// direct leg (FSPL spread, horn and FSA pattern deltas, bounce and
+  /// blocker losses). `gain_port` selects which FSA port's pattern applies.
+  /// `swept_fsa` credits the FMCW sweep with illuminating the bounce angle
+  /// at its own aligned frequency; `horn_steer_deg` is the bearing the AP
+  /// horns point at (the node for an ordinary burst, `path.aoa_deg` when the
+  /// AP re-steers at the wall).
+  double one_way_path_delta_db(antenna::FsaPort gain_port, double f_hz,
+                               const NodePose& pose, const PropPath& path,
+                               bool swept_fsa, double horn_steer_deg) const;
+  /// Shared body of `modulated_returns` / `modulated_returns_steered`.
+  std::vector<ReturnPath> modulated_returns_impl(antenna::FsaPort port, double f_hz,
+                                                 const NodePose& pose,
+                                                 double reflect_power_coeff,
+                                                 double steer_azimuth_deg) const;
+  /// Best one-way adjustment [dB] over the surviving paths (<= 0 only when
+  /// every path is worse than the unblocked direct ray).
+  double best_one_way_delta_db(antenna::FsaPort gain_port, double f_hz,
+                               const NodePose& pose) const;
+  /// Best round-trip adjustment [dB] over surviving path pairs.
+  double best_two_way_delta_db(antenna::FsaPort port, double f_hz,
+                               const NodePose& pose) const;
+
   ChannelConfig config_;
   rf::HornAntenna ap_tx_;
   rf::HornAntenna ap_rx_;
   antenna::DualPortFsa fsa_;
   Environment environment_;
+  MultipathConfig multipath_;
+  double path_time_s_ = 0.0;
 };
 
 }  // namespace milback::channel

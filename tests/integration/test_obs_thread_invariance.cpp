@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "milback/ap/localizer.hpp"
 #include "milback/cell/cell_engine.hpp"
 #include "milback/obs/exporters.hpp"
 #include "milback/obs/registry.hpp"
@@ -146,6 +147,46 @@ TEST_F(ObsThreadInvariance, SessionModeExportsAreByteIdentical) {
   const Exports serial = run_session_cell_and_export("1");
   const Exports parallel = run_session_cell_and_export("4");
   EXPECT_NE(serial.metrics.find("session.rounds"), std::string::npos);
+  EXPECT_EQ(serial.metrics, parallel.metrics);
+  EXPECT_EQ(serial.trace, parallel.trace);
+}
+
+Exports run_nlos_cell_and_export(const char* threads) {
+  ScopedThreads guard(threads);
+  obs::Registry::global().reset();
+  auto engine = make_engine();
+  engine.set_multipath(channel::MultipathConfig::office_walls(21, 5));
+  build_churn_scenario(engine);
+  engine.run(0.2, 1234);
+  // A reflector-aware NLoS fix on top of the same registry: drives the
+  // loc.nlos_fallback counter and the ap.localize.nlos span (serial code,
+  // but it must coexist with the worker-recorded channel counters).
+  auto chan =
+      channel::BackscatterChannel::make_default(channel::Environment::anechoic());
+  channel::MultipathConfig corridor;
+  corridor.walls.push_back({0.5, 0.9, 3.5, 0.9, 10.0});
+  chan.set_multipath(corridor);
+  chan.config().blockage_loss_db = 25.0;
+  ap::LocalizerConfig cfg;
+  cfg.reflector_aware = true;
+  const ap::Localizer loc(cfg);
+  Rng rng = Rng::stream(9, 0);
+  (void)loc.localize(chan, {3.0, 0.0, 0.0}, rng);
+  return {obs::metrics_jsonl(/*include_runtime=*/false),
+          obs::chrome_trace_json()};
+}
+
+TEST_F(ObsThreadInvariance, NlosChurnExportsAreByteIdentical) {
+  // The wall-scene churn records the path-census counters from inside the
+  // worker fan-out (every budget query traces the PathSet); they must merge
+  // commutatively like everything else.
+  (void)run_nlos_cell_and_export("2");  // cache warm-up on this path
+  const Exports serial = run_nlos_cell_and_export("1");
+  const Exports parallel = run_nlos_cell_and_export("4");
+  EXPECT_NE(serial.metrics.find("channel.paths_active"), std::string::npos);
+  EXPECT_NE(serial.metrics.find("channel.blockage_sever"), std::string::npos);
+  EXPECT_NE(serial.metrics.find("loc.nlos_fallback"), std::string::npos);
+  EXPECT_NE(serial.trace.find("ap.localize.nlos"), std::string::npos);
   EXPECT_EQ(serial.metrics, parallel.metrics);
   EXPECT_EQ(serial.trace, parallel.trace);
 }

@@ -1,0 +1,11 @@
+// Staged under src/milback/channel/: the one place hand-written FSPL terms
+// are allowed (this is where the propagation model itself lives).
+#include <cmath>
+
+namespace milback::channel {
+
+double fspl_fixture_db(double distance_m, double f_hz) {
+  return 20.0 * std::log10(distance_m) + 20.0 * std::log10(f_hz) - 147.55;
+}
+
+}  // namespace milback::channel

@@ -1,0 +1,14 @@
+// Negative control for R10: legal 20*log10 uses (amplitude-ratio dB
+// conversions, constellation penalties) and a distance-bearing FSPL inside
+// the channel layer, none of which the rule may flag.
+#include <cmath>
+
+namespace milback::fix {
+
+double amp_ratio_db(double ratio) { return 20.0 * std::log10(ratio); }
+
+double dense_penalty_db(int levels) {
+  return 20.0 * std::log10(double(levels - 1));
+}
+
+}  // namespace milback::fix

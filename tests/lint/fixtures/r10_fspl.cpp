@@ -1,0 +1,18 @@
+// Seeded R10 violations: hand-rolled free-space path loss outside the
+// channel layer. Each flagged line carries an expectation marker the
+// fixture runner matches against the lint output.
+#include <cmath>
+
+namespace milback::fix {
+
+double budget_dbm(double tx_dbm, double distance_m, double f_hz) {
+  const double fspl = 20.0 * std::log10(distance_m) +  // lint-expect: R10
+                      20.0 * std::log10(f_hz) - 147.55;
+  return tx_dbm - fspl;
+}
+
+double spread_db(double path_length_m, double reference_m) {
+  return 20 * std::log10(path_length_m / reference_m);  // lint-expect: R10
+}
+
+}  // namespace milback::fix

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Fixture suite for scripts/physics_lint.py rule R10.
+
+Stages the seeded-violation fixtures from tests/lint/fixtures/ into a
+temporary repository layout (src/milback/fix/ for the flagged ones,
+src/milback/channel/ for the allowed-scope negative control), runs
+physics_lint on the staged tree, and asserts the reported R10 findings match
+the `lint-expect: R10` markers exactly — same rule id, same staged file,
+same line — with nothing reported for the clean controls.
+
+Exit status 0 on an exact match, 1 otherwise.
+"""
+
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+LINTER = REPO / "scripts" / "physics_lint.py"
+FIXTURES = HERE / "fixtures"
+
+EXPECT_RE = re.compile(r"lint-expect:\s*(R\d+)")
+FINDING_RE = re.compile(r"^([^:]+):(\d+): \[(R\d+)\]")
+
+# fixture file -> path inside the staged tree.
+STAGE = {
+    "r10_fspl.cpp": "src/milback/fix/r10_fspl.cpp",
+    "r10_clean.cpp": "src/milback/fix/r10_clean.cpp",
+    "r10_channel_ok.cpp": "src/milback/channel/r10_channel_ok.cpp",
+}
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        expected = set()
+        for name, rel in STAGE.items():
+            text = (FIXTURES / name).read_text(encoding="utf-8")
+            dest = root / rel
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text(text, encoding="utf-8")
+            for ln, line in enumerate(text.splitlines(), start=1):
+                for m in EXPECT_RE.finditer(line):
+                    expected.add((m.group(1), rel, ln))
+
+        proc = subprocess.run(
+            [sys.executable, str(LINTER), str(root)],
+            capture_output=True,
+            text=True,
+        )
+        found = set()
+        for line in proc.stdout.splitlines():
+            m = FINDING_RE.match(line)
+            if m:
+                found.add((m.group(3), m.group(1), int(m.group(2))))
+
+        if found == expected:
+            print(f"lint_fixtures: {len(expected)} expected finding(s) matched")
+            return 0
+        for item in sorted(expected - found):
+            print(f"MISSING  {item[0]} at {item[1]}:{item[2]}")
+        for item in sorted(found - expected):
+            print(f"SPURIOUS {item[0]} at {item[1]}:{item[2]}")
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
