@@ -1,0 +1,213 @@
+// Extension — multi-hop backscatter mesh: coverage, hop depth and latency.
+//
+// The paper's cell ends where the two-way link budget dies (~11 m in the
+// indoor-office calibration). This bench asks the deployment question the
+// mesh layer exists to answer: how far past that edge can an aisle of tags
+// reach the AP by store-and-forward relaying, and what does each relay hop
+// cost? Sweeps aisle depth x relay TTL over a two-aisle rack layout (tags
+// every 4 m), and reports single-hop coverage, mesh connectivity, hop
+// depth, anchor-fused position error and end-to-end relay latency. A second
+// table slices the fused position error by hop depth — the DV-hop error
+// growth curve.
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "milback/cell/cell_engine.hpp"
+#include "milback/mesh/mesh.hpp"
+#include "milback/util/units.hpp"
+
+using namespace milback;
+
+namespace {
+
+// One sweep point: aisle depth x relay TTL budget.
+struct Point {
+  double aisle_m;
+  std::uint32_t max_ttl;
+};
+
+struct Outcome {
+  // Counts accumulate as integers so the tallies are exact in any order.
+  std::uint64_t population = 0;
+  std::uint64_t single_hop = 0;  // nodes the AP reaches directly
+  std::uint64_t connected = 0;   // nodes with any route (direct or relayed)
+  std::uint64_t hop_sum = 0;     // over connected nodes
+  std::uint64_t max_hops = 0;
+  std::uint64_t fused = 0;       // hop-fused (non-radar) localized nodes
+  double fused_err_sum_m = 0.0;
+  double latency_sum_s = 0.0;  // end-to-end, over relayed origin chunks
+  std::uint64_t latency_chunks = 0;
+  double offered_bits = 0.0;   // dark tags only
+  double delivered_bits = 0.0;
+  // pos-error tally by hop depth (index = hop_count, 2..9).
+  double err_by_depth_m[10] = {};
+  std::uint64_t cnt_by_depth[10] = {};
+};
+
+constexpr double kAisleBDeg = 25.0;
+constexpr double kTagRateBps = 20e3;
+
+// Tags every 4 m from 2 m out to the aisle end, along both aisles.
+std::size_t populate(cell::CellEngine& engine, double aisle_m) {
+  std::size_t n = 0;
+  for (const double az : {0.0, kAisleBDeg}) {
+    for (double d = 2.0; d <= aisle_m + 1e-9; d += 4.0) {
+      engine.add_node("tag-" + std::to_string(n),
+                      {.pose = {d, az, 12.0}, .arrival_rate_bps = kTagRateBps});
+      ++n;
+    }
+  }
+  return n;
+}
+
+// Anchors: the first two tags of aisle A and the first tag of aisle B —
+// surveyed at their true plan positions, non-collinear.
+std::vector<mesh::MeshAnchor> anchors_for(double aisle_m) {
+  const std::size_t per_aisle = 1 + std::size_t((aisle_m - 2.0) / 4.0 + 1e-9);
+  const double az_b = deg2rad(kAisleBDeg);
+  return {{0, 2.0, 0.0},
+          {1, 6.0, 0.0},
+          {std::uint32_t(per_aisle), 2.0 * std::cos(az_b), 2.0 * std::sin(az_b)}};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = bench::parse_seed(argc, argv);
+  bench::banner("Extension", "Mesh: relay coverage past the cell edge", seed);
+
+  std::vector<Point> points;
+  for (const double aisle : {10.0, 20.0, 30.0, 40.0}) {
+    for (const std::uint32_t ttl : {1u, 2u, 4u, 8u}) points.push_back({aisle, ttl});
+  }
+
+  const sim::TrialRunner runner;
+  const sim::Sweep<Point> sweep(points, 6);
+  const auto outcomes = sweep.run<Outcome>(
+      runner, [&](const Point& pt, std::size_t p, std::size_t trial) {
+        Rng env_rng = Rng::stream(seed, p, trial);
+        cell::CellEngine engine(bench::make_indoor_channel(env_rng),
+                                cell::CellConfig{});
+        populate(engine, pt.aisle_m);
+        mesh::MeshConfig mc;
+        mc.max_ttl = pt.max_ttl;
+        mc.localize_direct = false;  // isolate the hop-fused error curve
+        mc.anchors = anchors_for(pt.aisle_m);
+        engine.set_mesh(mc);
+        const auto report =
+            engine.run(0.3, Rng::stream(seed, p, trial, 9).engine()());
+
+        Outcome out;
+        out.population = report.mesh.population;
+        out.connected = report.mesh.connected;
+        out.max_hops = report.mesh.max_hop_count;
+        for (std::size_t i = 0; i < report.mesh.nodes.size(); ++i) {
+          const auto& n = report.mesh.nodes[i];
+          if (n.hop_count == 1) out.single_hop += 1;
+          if (n.reachable) out.hop_sum += n.hop_count;
+          if (n.localized && !n.radar_fix) {
+            out.fused += 1;
+            const std::size_t depth = std::min<std::size_t>(n.hop_count, 9);
+            out.cnt_by_depth[depth] += 1;
+            // milback-analyze: no-reduction(serial per-node tally in report index order)
+            out.fused_err_sum_m += n.pos_error_m;
+            out.err_by_depth_m[depth] += n.pos_error_m;
+          }
+          if (n.origin_chunks > 0) {
+            out.latency_chunks += n.origin_chunks;
+            // milback-analyze: no-reduction(serial per-node tally in report index order)
+            out.latency_sum_s +=
+                n.mean_relay_latency_s * double(n.origin_chunks);
+          }
+          if (n.hop_count != 1) {
+            // milback-analyze: no-reduction(serial per-node tally in report index order)
+            out.offered_bits += report.nodes[i].offered_bits;
+            // milback-analyze: no-reduction(serial per-node tally in report index order)
+            out.delivered_bits += report.nodes[i].delivered_bits;
+          }
+        }
+        return out;
+      });
+
+  Table t({"aisle (m)", "ttl", "1-hop cov", "mesh cov", "mean hops",
+           "max hops", "fused err (m)", "e2e lat (ms)", "dark delivered"});
+  CsvWriter csv(CsvWriter::env_dir(), "ext_mesh",
+                {"aisle_m", "max_ttl", "single_hop_frac", "connectivity",
+                 "mean_hops", "max_hops", "fused_err_m", "e2e_latency_ms",
+                 "dark_delivered_frac"});
+  double depth_err_m[10] = {};
+  std::uint64_t depth_cnt[10] = {};
+  for (std::size_t p = 0; p < sweep.points().size(); ++p) {
+    const Point& pt = sweep.points()[p];
+    Outcome sum;
+    for (const Outcome& o : outcomes[p]) {
+      sum.population += o.population;
+      sum.single_hop += o.single_hop;
+      sum.connected += o.connected;
+      sum.hop_sum += o.hop_sum;
+      sum.max_hops = std::max(sum.max_hops, o.max_hops);
+      sum.fused += o.fused;
+      sum.latency_chunks += o.latency_chunks;
+      // milback-analyze: no-reduction(serial post-sweep tally in the runner's fixed trial order)
+      sum.fused_err_sum_m += o.fused_err_sum_m;
+      // milback-analyze: no-reduction(serial post-sweep tally in the runner's fixed trial order)
+      sum.latency_sum_s += o.latency_sum_s;
+      // milback-analyze: no-reduction(serial post-sweep tally in the runner's fixed trial order)
+      sum.offered_bits += o.offered_bits;
+      // milback-analyze: no-reduction(serial post-sweep tally in the runner's fixed trial order)
+      sum.delivered_bits += o.delivered_bits;
+      if (pt.max_ttl == 8) {
+        for (std::size_t d = 0; d < 10; ++d) {
+          depth_err_m[d] += o.err_by_depth_m[d];
+          depth_cnt[d] += o.cnt_by_depth[d];
+        }
+      }
+    }
+    const double single = double(sum.single_hop) / double(sum.population);
+    const double cov = double(sum.connected) / double(sum.population);
+    const double mean_hops =
+        sum.connected > 0 ? double(sum.hop_sum) / double(sum.connected) : 0.0;
+    const double err_m =
+        sum.fused > 0 ? sum.fused_err_sum_m / double(sum.fused) : -1.0;
+    const double lat_ms =
+        sum.latency_chunks > 0
+            ? 1e3 * sum.latency_sum_s / double(sum.latency_chunks)
+            : -1.0;
+    const double delivered =
+        sum.offered_bits > 0 ? sum.delivered_bits / sum.offered_bits : -1.0;
+    t.add_row({Table::num(pt.aisle_m, 0), Table::num(double(pt.max_ttl), 0),
+               Table::num(100.0 * single, 0) + "%",
+               Table::num(100.0 * cov, 0) + "%", Table::num(mean_hops, 2),
+               Table::num(double(sum.max_hops), 0), Table::num(err_m, 1),
+               Table::num(lat_ms, 1), Table::num(100.0 * delivered, 0) + "%"});
+    csv.row({pt.aisle_m, double(pt.max_ttl), single, cov, mean_hops,
+             double(sum.max_hops), err_m, lat_ms, delivered});
+  }
+  t.print(std::cout);
+
+  Table depth_table({"hop depth", "fused fixes", "mean err (m)"});
+  for (std::size_t d = 2; d < 10; ++d) {
+    if (depth_cnt[d] == 0) continue;
+    depth_table.add_row(
+        {Table::num(double(d), 0), Table::num(double(depth_cnt[d]), 0),
+         Table::num(depth_err_m[d] / double(depth_cnt[d]), 1)});
+  }
+  std::cout << "\nAnchor-fused position error by hop depth (ttl = 8 points):\n";
+  depth_table.print(std::cout);
+
+  std::cout << "\nReading: a 10 m aisle is fully covered single-hop, so the TTL\n"
+               "column changes nothing there. From 20 m on, direct coverage\n"
+               "collapses (under 60% of the fleet) while the mesh holds, with a\n"
+               "TTL of 8, effectively full connectivity: each extra 4 m ring\n"
+               "of tags costs exactly one relay hop, one service sweep of\n"
+               "latency and one DV-hop ring of position blur. TTL 1 is the\n"
+               "no-mesh baseline; TTL 2/4 show coverage growing ring by ring —\n"
+               "the knob to trade flood cost against reach. The fused error\n"
+               "column is coarse (meters, not the radar's centimeters) but flat\n"
+               "in aisle depth: DV-hop error grows with hops from the anchors,\n"
+               "not with absolute range, so a few surveyed tags per aisle keep\n"
+               "even the deepest racks localized to the correct bay.\n";
+  return 0;
+}

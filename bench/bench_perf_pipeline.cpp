@@ -27,6 +27,8 @@
 #include "milback/ap/uplink_receiver.hpp"
 #include "milback/core/link.hpp"
 #include "milback/dsp/fft.hpp"
+#include "milback/mesh/neighbor_table.hpp"
+#include "milback/mesh/routing.hpp"
 #include "milback/dsp/fft_plan.hpp"
 #include "milback/dsp/oscillator.hpp"
 #include "milback/dsp/window.hpp"
@@ -229,6 +231,34 @@ void BM_CellEngine_SessionCell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CellEngine_SessionCell)->Unit(benchmark::kMillisecond);
+
+// Mesh route discovery: neighbor-table build (O(N^2) pairwise link budgets
+// with the distance prefilter) plus the bounded-TTL flood, for a 256-node
+// corridor where only the first few columns are AP-direct. This is the work
+// a churn event re-triggers, so its cost gates how much node mobility a
+// mesh cell can absorb per sweep.
+void BM_MeshRouting(benchmark::State& state) {
+  const std::size_t n = 256;
+  std::vector<double> x(n), y(n);
+  std::vector<std::uint8_t> alive(n, 1), direct(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // 8-wide corridor, 4 m pitch in x, 3 m in y; the first three columns
+    // (x <= 8 m) are inside direct coverage.
+    x[i] = 2.0 + 4.0 * double(i / 8);
+    y[i] = 3.0 * double(i % 8);
+    direct[i] = x[i] <= 8.0 ? 1 : 0;
+  }
+  const mesh::MeshConfig cfg;
+  const channel::MultipathConfig scene;
+  for (auto _ : state) {
+    auto table = mesh::build_neighbor_table(cfg, scene, 0.0, 0.0, x, y, alive,
+                                            /*time_s=*/0.0);
+    auto routes = mesh::build_routes(table, direct, /*max_ttl=*/12);
+    benchmark::DoNotOptimize(table);
+    benchmark::DoNotOptimize(routes);
+  }
+}
+BENCHMARK(BM_MeshRouting)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // Multi-cell engine: sharded campus/city scenarios. Sweep periods are pinned

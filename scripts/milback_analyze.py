@@ -87,6 +87,7 @@ WAIVER_KEYS = {key: check for check, (key, _) in CHECKS.items()}
 # seeds). Type names and exporter entry points, not generic method names.
 SINK_NAMES = {
     "CellReport", "CellNodeReport", "MacReport", "MacNodeReport",
+    "MeshReport", "MeshNodeReport",
     "CsvWriter", "metrics_jsonl", "prometheus_text", "chrome_trace_json",
     "write_env_exports",
 }

@@ -36,6 +36,11 @@ Rules:
       channel layer (fspl_db / BackscatterChannel path queries) so every
       consumer sees the same PathSet-aware propagation model instead of a
       private free-space shortcut that silently ignores multipath.
+  R11 mesh discipline: no ad-hoc TTL/flood/neighbor relay loops in src/
+      outside src/milback/mesh/ -- multi-hop topology (neighbor discovery,
+      bounded-TTL route floods, hop iteration) belongs to the mesh layer,
+      where link budgets come from the shared PathSet and route selection
+      is deterministic; a private flood loop forks the routing model.
 
 Exit status is non-zero when any violation is found.
 """
@@ -109,6 +114,13 @@ FSPL_DISTANCE_ARG = re.compile(
     r"|[A-Za-z0-9_]*_m)\b"
 )
 FSPL_ALLOWED_PREFIX = "src/milback/channel/"
+
+# R11: an ad-hoc relay/flood loop (`for (... ttl/hop/flood/neighbor ...)`)
+# -- the hand-rolled multi-hop topology idiom the mesh layer replaces.
+MESH_LOOP = re.compile(
+    r"\b(?:for|while)\s*\([^)]*\b(?:ttl\w*|hops?\w*|flood\w*|neighbor\w*)\b"
+)
+MESH_LOOP_ALLOWED_PREFIX = "src/milback/mesh/"
 
 COMMENT_LINE = re.compile(r"^\s*(?://|\*|/\*)")
 
@@ -191,6 +203,17 @@ def lint_file(root: Path, path: Path, errors: list[str]) -> None:
                 " stamp sim time, or profile via obs::ProfileScope"
             )
 
+        if (
+            rel.startswith("src/")
+            and not rel.startswith(MESH_LOOP_ALLOWED_PREFIX)
+            and MESH_LOOP.search(line)
+        ):
+            errors.append(
+                f"{rel}:{i}: [R11] ad-hoc TTL/flood/neighbor relay loop outside"
+                " src/milback/mesh/ -- route through mesh::build_routes /"
+                " mesh::NeighborTable"
+            )
+
         if rel.startswith("src/") and not rel.startswith(FSPL_ALLOWED_PREFIX):
             for m in FSPL_LOG.finditer(line):
                 if FSPL_DISTANCE_ARG.search(m.group(1)):
@@ -221,6 +244,7 @@ RULES = (
     ("R8", "ad-hoc round time loop outside the cell engine"),
     ("R9", "std::chrono outside src/milback/obs/ -- sim timestamps must be sim time"),
     ("R10", "ad-hoc 20*log10(distance) FSPL outside src/milback/channel/"),
+    ("R11", "ad-hoc TTL/flood/neighbor relay loop outside src/milback/mesh/"),
 )
 
 

@@ -8,8 +8,10 @@
 
 #include "milback/core/contract.hpp"
 #include "milback/core/packet.hpp"
+#include "milback/mesh/mesh_runtime.hpp"
 #include "milback/sim/trial_runner.hpp"
 #include "milback/util/stats.hpp"
+#include "milback/util/units.hpp"
 
 namespace milback::cell {
 
@@ -90,6 +92,21 @@ CellEngine::CellEngine(channel::BackscatterChannel channel, CellConfig config)
       link_(std::move(channel), config.network.link),
       obs_(&cell_obs(config.cell_index)),
       payload_bits_(double(config.payload_symbols) * 2.0) {}
+
+// Out of line so mesh::MeshRuntime is complete where unique_ptr needs it.
+CellEngine::CellEngine(CellEngine&&) noexcept = default;
+CellEngine& CellEngine::operator=(CellEngine&&) noexcept = default;
+CellEngine::~CellEngine() = default;
+
+void CellEngine::set_mesh(mesh::MeshConfig config) {
+  MILBACK_REQUIRE(!ran_, "CellEngine::set_mesh: install before begin()");
+  if (!config.enabled) {
+    mesh_.reset();
+    return;
+  }
+  mesh_ = std::make_unique<mesh::MeshRuntime>(std::move(config),
+                                              config_.cell_index);
+}
 
 std::size_t CellEngine::add_node(std::string id, const core::TrafficSpec& spec,
                                  double join_time_s) {
@@ -182,7 +199,8 @@ std::size_t CellEngine::population() const noexcept {
 }
 
 std::size_t CellEngine::memory_bytes() const noexcept {
-  return sizeof(*this) + nodes_.allocated_bytes() + queue_.allocated_bytes();
+  return sizeof(*this) + nodes_.allocated_bytes() + queue_.allocated_bytes() +
+         (mesh_ ? mesh_->allocated_bytes() : 0);
 }
 
 std::vector<std::size_t> CellEngine::alive_indices() const {
@@ -405,6 +423,7 @@ void CellEngine::dispatch_service(const Event& e) {
       }
     }
   }
+  if (mesh_) mesh_sweep(e, alive, service_done_s);
   sweep_span.end(service_done_s);
 
   if (observer_) {
@@ -437,6 +456,76 @@ void CellEngine::dispatch_service(const Event& e) {
                         .value = period_s});
     }
     wake_service(service_done_s);
+  }
+}
+
+void CellEngine::mesh_sweep(const Event& e,
+                            const std::vector<std::size_t>& alive,
+                            double service_done_s) {
+  MILBACK_REQUIRE(mesh_ != nullptr, "mesh_sweep: no mesh installed");
+  // Route discovery, only when churn/mobility/blockage dirtied the topology
+  // since the last sweep. The relay link budgets see the same frozen path
+  // clock (set_path_time_s above) as the AP links of this sweep.
+  if (mesh_->dirty()) {
+    const std::size_t n = nodes_.size();
+    std::vector<double> xs(n, 0.0);
+    std::vector<double> ys(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      xs[i] = nodes_.pose[i].distance_m *
+              std::cos(deg2rad(nodes_.pose[i].azimuth_deg));
+      ys[i] = nodes_.pose[i].distance_m *
+              std::sin(deg2rad(nodes_.pose[i].azimuth_deg));
+    }
+    obs::Span discover_span(mesh_->discover_trace_id(), e.time_s,
+                            obs::trace_lane(obs::kLaneCell, 2));
+    mesh_->rebuild(link_.channel().multipath(), blockage_db_, external_db_,
+                   xs, ys, nodes_.alive, nodes_.rate_bps, e.time_s);
+    discover_span.end(e.time_s);
+  }
+
+  // Dark nodes push their backlog toward the first relay, one payload per
+  // sweep, stalling when the relay buffer is full. Bits leave the origin's
+  // queue and stay "in flight" until they drain at the AP.
+  std::size_t orphans = 0;
+  for (const auto i : alive) {
+    if (nodes_.rate_bps[i] > 0.0) continue;
+    if (mesh_->hop_count(i) < 2) {
+      if (nodes_.queued_bits[i] > 0.0) ++orphans;
+      continue;
+    }
+    double budget = payload_bits_;
+    while (budget > 1e-9 && !nodes_.queue_empty(i)) {
+      auto& chunk = nodes_.front_chunk(i);
+      const double want = std::min(chunk.bits, budget);
+      const double got = mesh_->ingest(i, want, chunk.arrival_s);
+      if (got <= 1e-9) break;  // first relay's buffer is full
+      // milback-analyze: no-reduction(serial FIFO drain in deterministic queue order; single thread by construction)
+      chunk.bits -= got;
+      // milback-analyze: no-reduction(serial FIFO drain in deterministic queue order; single thread by construction)
+      budget -= got;
+      // milback-analyze: no-reduction(serial FIFO drain in deterministic queue order; single thread by construction)
+      nodes_.queued_bits[i] -= got;
+      if (chunk.bits <= 1e-9) nodes_.pop_front_chunk(i);
+    }
+  }
+  mesh_->note_orphans(orphans);
+
+  // Advance every relay queue one hop; chunks that drained at the AP are
+  // credited to their origin row, latency closed against the same service
+  // window as direct drains.
+  const auto& deliveries =
+      mesh_->flush(nodes_.rate_bps, nodes_.alive, payload_bits_, service_done_s);
+  for (const auto& d : deliveries) {
+    // milback-analyze: no-reduction(serial event-handler loop in deterministic delivery order; single thread by construction)
+    nodes_.delivered_bits[d.origin] += d.bits;
+    if (d.completed) {
+      const double latency_s = service_done_s - d.arrival_s;
+      nodes_.push_latency(d.origin, latency_s);
+      obs_->latency_s.record(latency_s);
+      if (!nodes_.obs_latency.empty()) {
+        nodes_.obs_latency[d.origin].record(latency_s);
+      }
+    }
   }
 }
 
@@ -507,15 +596,18 @@ void CellEngine::dispatch(const Event& e) {
   switch (e.kind) {
     case EventKind::kJoin:
       obs_->ev_join.add();
+      if (mesh_) mesh_->mark_dirty();
       dispatch_join(e);
       break;
     case EventKind::kLeave:
       obs_->ev_leave.add();
+      if (mesh_) mesh_->mark_dirty();
       nodes_.alive[e.node] = 0;
       nodes_.leave_time_s[e.node] = e.time_s;
       break;
     case EventKind::kMove:
       obs_->ev_move.add();
+      if (mesh_) mesh_->mark_dirty();
       nodes_.pose[e.node] = e.pose;
       if (nodes_.alive[e.node]) wake_service(e.time_s);
       break;
@@ -529,6 +621,7 @@ void CellEngine::dispatch(const Event& e) {
       break;
     case EventKind::kBlockageStart:
       obs_->ev_blockage_start.add();
+      if (mesh_) mesh_->mark_dirty();
       blockage_span_ = obs::Span(obs_->blockage_span, e.time_s,
                                  obs::trace_lane(obs::kLaneCell, 1));
       blockage_db_ = e.value;
@@ -536,6 +629,7 @@ void CellEngine::dispatch(const Event& e) {
       break;
     case EventKind::kBlockageEnd:
       obs_->ev_blockage_end.add();
+      if (mesh_) mesh_->mark_dirty();
       blockage_span_.end(e.time_s);
       blockage_db_ = 0.0;
       apply_channel_loss();
@@ -566,6 +660,10 @@ CellReport CellEngine::finish() {
   // A blockage still open at the horizon closes there in the trace.
   blockage_span_.end(duration_s_);
 
+  if (mesh_) {
+    report_.mesh =
+        mesh_->finalize(link_.channel(), nodes_.pose, nodes_.alive, seed_);
+  }
   report_.peak_population = peak_population_;
   report_.final_population = population();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -621,6 +719,7 @@ CarriedNode CellEngine::detach_node(std::size_t node, double time_s) {
   nodes_.queued_bits[node] = 0.0;
   nodes_.alive[node] = 0;
   nodes_.leave_time_s[node] = time_s;
+  if (mesh_) mesh_->mark_dirty();
   obs_->ev_handoff_out.add();
   return out;
 }
@@ -638,6 +737,7 @@ std::size_t CellEngine::attach_node(const CarriedNode& carried, double time_s) {
   nodes_.queued_bits[index] = carried.queued_bits;
   nodes_.peak_queue_bits[index] = carried.queued_bits;
   peak_population_ = std::max(peak_population_, population());
+  if (mesh_) mesh_->mark_dirty();
   obs_->ev_handoff_in.add();
   wake_service(time_s);
   return index;

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,11 +42,16 @@
 #include "milback/core/rate_adapt.hpp"
 #include "milback/core/round_types.hpp"
 #include "milback/core/session.hpp"
+#include "milback/mesh/mesh.hpp"
 #include "milback/obs/registry.hpp"
 #include "milback/obs/span.hpp"
 
 namespace milback::sim {
 class TrialRunner;
+}
+
+namespace milback::mesh {
+class MeshRuntime;
 }
 
 namespace milback::cell {
@@ -118,6 +124,8 @@ struct CellReport {
   double aggregate_goodput_bps = 0.0;    ///< Total delivered / duration.
   double cell_capacity_bps = 0.0;        ///< Saturation goodput (last sweep).
   bool stable = true;                    ///< No served queue grew without bound.
+  mesh::MeshReport mesh;                 ///< Mesh outcome; empty (zero nodes)
+                                         ///< unless set_mesh installed one.
 };
 
 /// A node in flight between cells: everything the target cell needs to
@@ -139,6 +147,12 @@ class CellEngine {
 
   /// Builds the engine over a channel.
   CellEngine(channel::BackscatterChannel channel, CellConfig config = {});
+
+  // Move-only (the mesh runtime is held by unique_ptr to an incomplete
+  // type, so the special members live in the .cpp).
+  CellEngine(CellEngine&&) noexcept;
+  CellEngine& operator=(CellEngine&&) noexcept;
+  ~CellEngine();
 
   /// Registers a node. Nodes with `join_time_s` <= 0 are present from the
   /// start; later joins enter the cell as kJoin events. Returns the node's
@@ -165,6 +179,15 @@ class CellEngine {
   /// channel and every live session's channel copy. Call before begin();
   /// the per-sweep path clock is advanced by the service dispatcher.
   void set_multipath(channel::MultipathConfig multipath);
+
+  /// Installs (or, with `config.enabled == false`, uninstalls) the
+  /// multi-hop relay mesh. Call before begin(), like set_multipath. With a
+  /// mesh installed, nodes the AP cannot serve directly push their backlog
+  /// through store-and-forward relays during each service sweep, and the
+  /// final report carries a MeshReport (routes, relay traffic, and
+  /// anchor-fused or radar positions). Without one the engine never touches
+  /// the mesh layer and runs bit-identically to the pre-mesh build.
+  void set_mesh(mesh::MeshConfig config);
 
   /// Installs the per-service observer (benches tap per-sweep detail here).
   void set_observer(ServiceObserver observer) { observer_ = std::move(observer); }
@@ -268,6 +291,12 @@ class CellEngine {
   void dispatch_join(const Event& e);
   void dispatch_arrival(const Event& e);
   void dispatch_service(const Event& e);
+  /// Mesh leg of one service sweep: rebuild routes when the topology is
+  /// dirty, ingest dark nodes' backlog toward their first relay, advance
+  /// every relay queue one hop, and credit AP-drained chunks back to their
+  /// origin rows.
+  void mesh_sweep(const Event& e, const std::vector<std::size_t>& alive,
+                  double service_done_s);
 
   CellConfig config_;
   core::MilBackLink link_;
@@ -286,6 +315,7 @@ class CellEngine {
   std::uint64_t seed_ = 0;
   double blockage_db_ = 0.0;
   double external_db_ = 0.0;
+  std::unique_ptr<mesh::MeshRuntime> mesh_;  ///< Null unless set_mesh ran.
   CellReport report_;        ///< Accumulated during dispatch, sealed by finish().
 };
 

@@ -135,6 +135,15 @@ class MultiCellEngine {
     for (auto& e : engines_) e->set_multipath(multipath);
   }
 
+  /// Installs the same relay-mesh configuration on every shard. Like
+  /// set_multipath, the config is interpreted per cell: anchor node indices
+  /// are cell-local (indices that never join a given shard are ignored
+  /// there), and each shard discovers routes over its own population only —
+  /// relays never span cells. Call before run().
+  void set_mesh(const mesh::MeshConfig& config) {
+    for (auto& e : engines_) e->set_mesh(config);
+  }
+
   /// Runs `duration_s` of network time. Single-shot, like CellEngine::run;
   /// the report is a pure function of (scenario, seed) at any worker count.
   MultiCellReport run(double duration_s, std::uint64_t seed);

@@ -1,0 +1,154 @@
+#include "milback/mesh/anchor_fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "milback/core/contract.hpp"
+
+namespace milback::mesh {
+
+std::vector<std::uint32_t> hop_counts_from(const NeighborTable& table,
+                                           std::uint32_t source) {
+  const std::size_t n = table.node_count();
+  MILBACK_REQUIRE(source < n, "hop_counts_from: source out of range");
+  std::vector<std::uint32_t> dist(n, kUnreachableHops);
+  std::vector<std::uint32_t> frontier{source};
+  std::vector<std::uint32_t> next;
+  dist[source] = 0;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (const std::uint32_t u : frontier) {
+      for (const NeighborLink& link : table.neighbors(u)) {
+        if (dist[link.neighbor] != kUnreachableHops) continue;
+        dist[link.neighbor] = depth;
+        next.push_back(link.neighbor);
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+namespace {
+
+/// Weighted least squares multilateration over >= 3 anchors with estimated
+/// ranges, linearized against the last anchor. Returns false when the
+/// anchor geometry is degenerate (collinear / coincident).
+bool wls_multilaterate(std::span<const MeshAnchor> anchors,
+                       std::span<const double> range_m,
+                       std::span<const double> weight, double* out_x_m,
+                       double* out_y_m) {
+  const std::size_t k = anchors.size();
+  const MeshAnchor& ref = anchors[k - 1];
+  const double rr = range_m[k - 1];
+  double axx = 0.0, axy = 0.0, ayy = 0.0, bx = 0.0, by = 0.0;
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    const double w = weight[i];
+    const double ax = 2.0 * (ref.x_m - anchors[i].x_m);
+    const double ay = 2.0 * (ref.y_m - anchors[i].y_m);
+    const double rhs = range_m[i] * range_m[i] - rr * rr +
+                       ref.x_m * ref.x_m - anchors[i].x_m * anchors[i].x_m +
+                       ref.y_m * ref.y_m - anchors[i].y_m * anchors[i].y_m;
+    // Normal equations of the weighted system, accumulated serially in
+    // anchor order (deterministic single-thread math).
+    axx += w * ax * ax;
+    axy += w * ax * ay;
+    ayy += w * ay * ay;
+    bx += w * ax * rhs;
+    by += w * ay * rhs;
+  }
+  const double det = axx * ayy - axy * axy;
+  if (std::abs(det) < 1e-9) return false;
+  *out_x_m = (bx * ayy - by * axy) / det;
+  *out_y_m = (by * axx - bx * axy) / det;
+  return true;
+}
+
+}  // namespace
+
+std::vector<AnchorEstimate> fuse_anchor_positions(
+    const NeighborTable& table, std::span<const MeshAnchor> anchors,
+    double fallback_hop_m) {
+  require_positive(fallback_hop_m, "fallback_hop_m");
+  const std::size_t n = table.node_count();
+  std::vector<AnchorEstimate> out(n);
+  if (anchors.empty()) return out;
+  for (const auto& a : anchors) {
+    MILBACK_REQUIRE(a.node < n, "fuse_anchor_positions: anchor out of range");
+  }
+
+  std::vector<std::vector<std::uint32_t>> dist;
+  dist.reserve(anchors.size());
+  for (const auto& a : anchors) dist.push_back(hop_counts_from(table, a.node));
+
+  // DV-hop calibration: surveyed anchor-anchor distance per mesh hop,
+  // pooled over every mesh-reachable anchor pair.
+  double pair_dist_m = 0.0;
+  double pair_hops = 0.0;
+  for (std::size_t a = 0; a < anchors.size(); ++a) {
+    for (std::size_t b = a + 1; b < anchors.size(); ++b) {
+      const std::uint32_t h = dist[a][anchors[b].node];
+      if (h == 0 || h == kUnreachableHops) continue;
+      // milback-analyze: no-reduction(serial anchor-pair tally in fixed index order; single thread by construction)
+      pair_dist_m += std::hypot(anchors[b].x_m - anchors[a].x_m,
+                                anchors[b].y_m - anchors[a].y_m);
+      pair_hops += double(h);
+    }
+  }
+  const double hop_len_m =
+      pair_hops > 0.0 ? pair_dist_m / pair_hops : fallback_hop_m;
+
+  std::vector<MeshAnchor> usable;
+  std::vector<double> range_m;
+  std::vector<double> weight;
+  for (std::size_t u = 0; u < n; ++u) {
+    usable.clear();
+    range_m.clear();
+    weight.clear();
+    std::uint32_t min_hops = kUnreachableHops;
+    for (std::size_t a = 0; a < anchors.size(); ++a) {
+      const std::uint32_t h = dist[a][u];
+      if (h == kUnreachableHops) continue;
+      min_hops = std::min(min_hops, h);
+      if (h == 0) break;  // u IS this anchor
+      usable.push_back(anchors[a]);
+      range_m.push_back(double(h) * hop_len_m);
+      weight.push_back(1.0 / double(h));
+    }
+    if (min_hops == 0) {
+      // Anchors localize to their surveyed position exactly.
+      for (const auto& a : anchors) {
+        if (a.node == u) {
+          out[u] = {true, a.x_m, a.y_m, 0};
+          break;
+        }
+      }
+      continue;
+    }
+    if (usable.empty()) continue;  // no anchor reaches u
+    AnchorEstimate est;
+    est.localized = true;
+    est.anchor_hops = min_hops;
+    if (usable.size() < 3 ||
+        !wls_multilaterate(usable, range_m, weight, &est.x_m, &est.y_m)) {
+      // Hop-weighted centroid fallback: coarse, but bounded by the anchor
+      // hull and available with a single reachable anchor.
+      double wx = 0.0, wy = 0.0, wsum = 0.0;
+      for (std::size_t i = 0; i < usable.size(); ++i) {
+        // milback-analyze: no-reduction(serial centroid tally in fixed anchor order; single thread by construction)
+        wx += weight[i] * usable[i].x_m;
+        wy += weight[i] * usable[i].y_m;
+        wsum += weight[i];
+      }
+      est.x_m = wx / wsum;
+      est.y_m = wy / wsum;
+    }
+    out[u] = est;
+  }
+  MILBACK_ENSURE(out.size() == n, "fuse_anchor_positions: one estimate per node");
+  return out;
+}
+
+}  // namespace milback::mesh

@@ -1,0 +1,51 @@
+// Anchor-assisted coarse localization: DV-hop distance fusion.
+//
+// Out-of-range nodes cannot be radar-localized by the AP, but they can
+// count mesh hops to anchor nodes at surveyed positions (the
+// Location-Based_WSN anchor design in SNIPPETS.md). Classic DV-hop:
+//
+//   1. BFS hop counts from every anchor over the relay graph.
+//   2. Calibrate the mean hop length from anchor-anchor pairs (surveyed
+//      distance / hop count), falling back to a configured default when no
+//      anchor pair is mesh-reachable.
+//   3. Estimate range to each anchor as hops x hop length and solve a
+//      weighted least squares multilateration (weight 1/hops — near
+//      anchors are trusted more); under 3 usable anchors (or a degenerate
+//      anchor geometry) fall back to the hop-weighted centroid.
+//
+// Everything is serial double math in node-index order: estimates are
+// bit-identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "milback/mesh/neighbor_table.hpp"
+
+namespace milback::mesh {
+
+/// BFS hop-count sentinel for nodes no anchor can reach.
+inline constexpr std::uint32_t kUnreachableHops = 0xffffffffu;
+
+/// One node's fused position estimate.
+struct AnchorEstimate {
+  bool localized = false;
+  double x_m = 0.0;
+  double y_m = 0.0;
+  std::uint32_t anchor_hops = kUnreachableHops;  ///< Min hops to any anchor.
+};
+
+/// Unit-hop BFS distances from `source` over the relay graph
+/// (kUnreachableHops where no path exists; 0 at the source).
+std::vector<std::uint32_t> hop_counts_from(const NeighborTable& table,
+                                           std::uint32_t source);
+
+/// Runs DV-hop fusion for every node. Anchors localize to their surveyed
+/// positions; nodes no anchor reaches stay unlocalized.
+std::vector<AnchorEstimate> fuse_anchor_positions(
+    const NeighborTable& table, std::span<const MeshAnchor> anchors,
+    double fallback_hop_m);
+
+}  // namespace milback::mesh

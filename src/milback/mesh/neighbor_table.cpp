@@ -1,0 +1,110 @@
+#include "milback/mesh/neighbor_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "milback/channel/propagation.hpp"
+#include "milback/core/contract.hpp"
+
+namespace milback::mesh {
+
+std::span<const NeighborLink> NeighborTable::neighbors(std::size_t i) const {
+  MILBACK_REQUIRE(i + 1 < offset.size(), "NeighborTable::neighbors: index out of range");
+  return {links.data() + offset[i], links.data() + offset[i + 1]};
+}
+
+double relay_link_margin_db(const MeshConfig& config,
+                            const channel::MultipathConfig& scene,
+                            double blockage_loss_db, double ambient_loss_db,
+                            double x1_m, double y1_m, double x2_m, double y2_m,
+                            double time_s) {
+  require_positive(config.carrier_hz, "carrier_hz");
+  require_non_negative(blockage_loss_db, "blockage_loss_db");
+  require_non_negative(ambient_loss_db, "ambient_loss_db");
+  require_finite(x1_m, "x1_m");
+  require_finite(y1_m, "y1_m");
+  require_finite(x2_m, "x2_m");
+  require_finite(y2_m, "y2_m");
+
+  // Translate the scene into node 1's frame: trace_paths assumes the source
+  // sits at the origin, so shift every wall endpoint and blocker center by
+  // the source position. Blocker velocities are frame-independent.
+  channel::MultipathConfig local;
+  local.walls.reserve(scene.walls.size());
+  for (const auto& w : scene.walls) {
+    local.walls.push_back({w.x1_m - x1_m, w.y1_m - y1_m, w.x2_m - x1_m,
+                           w.y2_m - y1_m, w.reflection_loss_db});
+  }
+  local.blockers.reserve(scene.blockers.size());
+  for (const auto& b : scene.blockers) {
+    local.blockers.push_back({b.x_m - x1_m, b.y_m - y1_m, b.vx_mps, b.vy_mps,
+                              b.radius_m, b.penetration_loss_db});
+  }
+
+  const auto paths =
+      channel::trace_paths(local, x2_m - x1_m, y2_m - y1_m, time_s);
+  const double ref_db = channel::fspl_db(1.0, config.carrier_hz);
+  double best_snr_db = -1e9;
+  for (const auto& p : paths.paths) {
+    // Spreading loss relative to the 1 m anchor, plus specular bounce loss,
+    // blocker penetration, and the episode losses: blockage hits only the
+    // direct leg (a wall routes around it, same as AP links), ambient hits
+    // every path.
+    double excess_db = channel::fspl_db(std::max(p.length_m, 0.01),
+                                        config.carrier_hz) -
+                       ref_db + p.bounce_loss_db + p.blocker_loss_db +
+                       ambient_loss_db;
+    if (p.bounces == 0) excess_db += blockage_loss_db;
+    best_snr_db = std::max(best_snr_db, config.relay_snr_at_1m_db - excess_db);
+  }
+  return best_snr_db - config.relay_min_snr_db;
+}
+
+double max_relay_range_m(const MeshConfig& config) {
+  require_positive(config.carrier_hz, "carrier_hz");
+  // fspl(d) - fspl(1 m) = 20 log10(d), so the budget closes out to
+  // d = 10^(headroom / 20). Clamped below at the near-field floor.
+  const double headroom_db =
+      config.relay_snr_at_1m_db - config.relay_min_snr_db;
+  return std::max(0.01, std::pow(10.0, headroom_db / 20.0));
+}
+
+NeighborTable build_neighbor_table(const MeshConfig& config,
+                                   const channel::MultipathConfig& scene,
+                                   double blockage_loss_db,
+                                   double ambient_loss_db,
+                                   std::span<const double> x_m,
+                                   std::span<const double> y_m,
+                                   std::span<const std::uint8_t> alive,
+                                   double time_s) {
+  const std::size_t n = x_m.size();
+  MILBACK_REQUIRE(y_m.size() == n && alive.size() == n,
+                  "build_neighbor_table: column sizes must match");
+  NeighborTable table;
+  table.offset.assign(n + 1, 0);
+
+  // The prefilter bound is exact for the direct ray and conservative for
+  // bounce paths (longer and lossier), so pairs beyond it cannot form an
+  // edge. A small slack absorbs the margin-vs-threshold boundary.
+  const double cutoff_m = max_relay_range_m(config) + 1e-9;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i]) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i || !alive[j]) continue;
+        const double d = std::hypot(x_m[j] - x_m[i], y_m[j] - y_m[i]);
+        if (d > cutoff_m) continue;
+        const double margin_db = relay_link_margin_db(
+            config, scene, blockage_loss_db, ambient_loss_db, x_m[i], y_m[i],
+            x_m[j], y_m[j], time_s);
+        if (margin_db < 0.0) continue;
+        table.links.push_back({std::uint32_t(j), float(margin_db)});
+      }
+    }
+    table.offset[i + 1] = std::uint32_t(table.links.size());
+  }
+  MILBACK_ENSURE(table.offset.back() == table.links.size(),
+                 "build_neighbor_table: CSR offsets must cover all links");
+  return table;
+}
+
+}  // namespace milback::mesh

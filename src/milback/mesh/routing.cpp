@@ -1,0 +1,60 @@
+#include "milback/mesh/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "milback/core/contract.hpp"
+
+namespace milback::mesh {
+
+RouteTable build_routes(const NeighborTable& table,
+                        std::span<const std::uint8_t> direct,
+                        std::size_t max_ttl) {
+  const std::size_t n = table.node_count();
+  MILBACK_REQUIRE(direct.size() == n,
+                  "build_routes: direct flags must match the table");
+  MILBACK_REQUIRE(max_ttl >= 1, "build_routes: max_ttl must be >= 1");
+  RouteTable out;
+  out.routes.assign(n, Route{});
+  for (std::size_t i = 0; i < n; ++i) {
+    if (direct[i]) {
+      out.routes[i] = {1, kNoNode, std::numeric_limits<float>::infinity()};
+    }
+  }
+
+  // One flood frontier per TTL round: nodes routed in the previous round
+  // offer themselves as relays. Both loops run in index order over ordered
+  // storage, so the adopted route is a pure function of the topology.
+  for (std::size_t ttl = 2; ttl <= max_ttl; ++ttl) {
+    const std::uint32_t frontier = std::uint32_t(ttl - 1);
+    bool progressed = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (out.routes[u].hop_count != 0) continue;
+      bool found = false;
+      float best_margin_db = 0.0f;
+      std::uint32_t best_next = kNoNode;
+      for (const NeighborLink& link : table.neighbors(u)) {
+        const Route& via = out.routes[link.neighbor];
+        if (via.hop_count != frontier) continue;
+        const float margin_db = std::min(via.margin_db, link.margin_db);
+        // Lexicographic (hop, -margin, index): hops are equal across the
+        // frontier, so prefer the wider bottleneck, then the lower index.
+        if (!found || margin_db > best_margin_db ||
+            (margin_db == best_margin_db && link.neighbor < best_next)) {
+          found = true;
+          best_margin_db = margin_db;
+          best_next = link.neighbor;
+        }
+      }
+      if (found) {
+        out.routes[u] = {std::uint32_t(ttl), best_next, best_margin_db};
+        progressed = true;
+      }
+    }
+    if (!progressed) break;
+  }
+  MILBACK_ENSURE(out.routes.size() == n, "build_routes: one route per node");
+  return out;
+}
+
+}  // namespace milback::mesh

@@ -1,0 +1,55 @@
+// Deterministic mesh route discovery: bounded-TTL flood with lexicographic
+// route selection.
+//
+// Roots are the nodes the AP can serve directly (service rate > 0); they
+// are 1 hop from the AP by definition. Discovery floods outward one hop per
+// TTL round: an unrouted node adopts the neighbor that minimizes the key
+//
+//     (hop_count, -min_link_margin_db, neighbor index)
+//
+// lexicographically — fewest hops first, then the widest bottleneck margin,
+// then the lowest node index (node indices are handed out in add_node
+// order, so the NodeId tie-break is stable across runs). The chosen route
+// is a pure function of the neighbor table and the root set: no RNG, no
+// map-iteration order, identical at any MILBACK_SIM_THREADS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "milback/mesh/neighbor_table.hpp"
+
+namespace milback::mesh {
+
+/// One node's route toward the AP.
+struct Route {
+  std::uint32_t hop_count = 0;       ///< 1 = AP-direct, 0 = unreachable.
+  std::uint32_t next_hop = kNoNode;  ///< First relay (kNoNode when direct).
+  float margin_db = 0.0f;  ///< Bottleneck relay-link margin (min over the
+                           ///< route's relay legs; +inf for direct nodes —
+                           ///< the AP leg is budgeted by the rate probe).
+};
+
+/// Routes for every node, index order.
+struct RouteTable {
+  std::vector<Route> routes;
+
+  bool reachable(std::size_t i) const {
+    return i < routes.size() && routes[i].hop_count > 0;
+  }
+
+  std::size_t allocated_bytes() const noexcept {
+    return routes.capacity() * sizeof(Route);
+  }
+};
+
+/// Runs the bounded-TTL flood. `direct` flags the root set (nodes with a
+/// live AP service rate), sized like the table. Routes deeper than
+/// `max_ttl` hops (AP leg included) stay unreachable.
+RouteTable build_routes(const NeighborTable& table,
+                        std::span<const std::uint8_t> direct,
+                        std::size_t max_ttl);
+
+}  // namespace milback::mesh

@@ -33,6 +33,7 @@ STAGE = {
     "a1_api.hpp": "src/milback/fix/a1_api.hpp",
     "a1_api.cpp": "src/milback/fix/a1_api.cpp",
     "a2_report.cpp": "src/milback/fix/a2_report.cpp",
+    "a2_route.cpp": "src/milback/fix/a2_route.cpp",
     "a3_rng.cpp": "src/milback/fix/a3_rng.cpp",
     "a3_stream_wrapper.cpp": "src/milback/fix/a3_stream_wrapper.cpp",
     "a4_clock.cpp": "src/milback/fix/a4_clock.cpp",

@@ -191,6 +191,43 @@ TEST_F(ObsThreadInvariance, NlosChurnExportsAreByteIdentical) {
   EXPECT_EQ(serial.trace, parallel.trace);
 }
 
+Exports run_mesh_cell_and_export(const char* threads) {
+  ScopedThreads guard(threads);
+  obs::Registry::global().reset();
+  auto engine = make_engine();
+  // Relay chain past the direct-coverage edge plus the churn fleet: relays
+  // forward every sweep, the leave/blockage events trigger rediscoveries,
+  // and the far tags hit the orphan counter whenever no route exists.
+  engine.add_node("relay-a", {.pose = {8.0, 80.0, 12.0}, .arrival_rate_bps = 0.0});
+  engine.add_node("dark-b", {.pose = {14.0, 80.0, 12.0}, .arrival_rate_bps = 40e3});
+  engine.add_node("dark-c", {.pose = {20.0, 80.0, 12.0}, .arrival_rate_bps = 40e3});
+  build_churn_scenario(engine);
+  mesh::MeshConfig mc;
+  mc.anchors = {{0, 8.0 * 0.17364817766693041, 8.0 * 0.984807753012208},
+                {3, 1.5, 0.0}};
+  engine.set_mesh(mc);
+  engine.run(0.2, 1234);
+  return {obs::metrics_jsonl(/*include_runtime=*/false),
+          obs::chrome_trace_json()};
+}
+
+TEST_F(ObsThreadInvariance, MeshChurnExportsAreByteIdentical) {
+  // The mesh counters record from the serial tail of dispatch_service (after
+  // the worker fan-out) and the discover span closes at sim time — both must
+  // export byte-identically at any worker count, alongside everything the
+  // churn fleet records from inside the fan-out.
+  (void)run_mesh_cell_and_export("2");  // cache warm-up on this path
+  const Exports serial = run_mesh_cell_and_export("1");
+  const Exports parallel = run_mesh_cell_and_export("4");
+  EXPECT_NE(serial.metrics.find("mesh.route_discovery"), std::string::npos);
+  EXPECT_NE(serial.metrics.find("mesh.relay_forward"), std::string::npos);
+  EXPECT_NE(serial.metrics.find("mesh.reroute"), std::string::npos);
+  EXPECT_NE(serial.metrics.find("mesh.hop_count"), std::string::npos);
+  EXPECT_NE(serial.trace.find("mesh.discover"), std::string::npos);
+  EXPECT_EQ(serial.metrics, parallel.metrics);
+  EXPECT_EQ(serial.trace, parallel.trace);
+}
+
 TEST_F(ObsThreadInvariance, RepeatedRunsAreByteIdentical) {
   // Same thread count twice — catches ordering leaks that do not depend on
   // the worker count (e.g. unsorted trace buffers).

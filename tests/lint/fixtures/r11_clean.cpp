@@ -1,0 +1,22 @@
+// Clean control for R11: ordinary loops over nodes, legs and slots whose
+// variables do not spell a relay/flood idiom must stay unflagged.
+#include <cstddef>
+#include <vector>
+
+namespace milback::fix {
+
+double sum_over_nodes(const std::vector<double>& values) {
+  double total = 0.0;
+  for (std::size_t node = 0; node < values.size(); ++node) total += values[node];
+  return total;
+}
+
+double worst_leg(const std::vector<double>& legs) {
+  double worst = 1e9;
+  for (const auto leg : legs) {
+    if (leg < worst) worst = leg;
+  }
+  return worst;
+}
+
+}  // namespace milback::fix

@@ -1,0 +1,32 @@
+// Seeded R11 violations: a hand-rolled multi-hop relay flood outside the
+// mesh layer. Each flagged line carries an expectation marker the fixture
+// runner matches against the lint output.
+#include <cstdint>
+#include <vector>
+
+namespace milback::fix {
+
+std::vector<std::uint32_t> flood_routes(
+    const std::vector<std::vector<std::uint32_t>>& adj, std::uint32_t root) {
+  std::vector<std::uint32_t> dist(adj.size(), 0xffffffffu);
+  dist[root] = 0;
+  for (std::uint32_t ttl = 1; ttl < 8; ++ttl) {  // lint-expect: R11
+    for (std::size_t u = 0; u < adj.size(); ++u) {
+      if (dist[u] + 1 != ttl) continue;
+      for (const auto neighbor : adj[u]) {  // lint-expect: R11
+        if (dist[neighbor] == 0xffffffffu) dist[neighbor] = ttl;
+      }
+    }
+  }
+  return dist;
+}
+
+double relay_budget(const std::vector<double>& leg_margins) {
+  double margin = 1e9;
+  for (std::size_t hop = 0; hop < leg_margins.size(); ++hop) {  // lint-expect: R11
+    if (leg_margins[hop] < margin) margin = leg_margins[hop];
+  }
+  return margin;
+}
+
+}  // namespace milback::fix

@@ -1,0 +1,28 @@
+// Staged under src/milback/mesh/: the one place TTL floods and neighbor
+// iteration are allowed (this is where the routing model itself lives).
+#include <cstdint>
+#include <vector>
+
+namespace milback::mesh {
+
+std::uint32_t flood_depth_fixture(
+    const std::vector<std::vector<std::uint32_t>>& adj, std::uint32_t root,
+    std::uint32_t max_ttl) {
+  std::vector<std::uint32_t> dist(adj.size(), 0xffffffffu);
+  dist[root] = 0;
+  std::uint32_t deepest = 0;
+  for (std::uint32_t ttl = 1; ttl <= max_ttl; ++ttl) {
+    for (std::size_t u = 0; u < adj.size(); ++u) {
+      if (dist[u] + 1 != ttl) continue;
+      for (const auto neighbor : adj[u]) {
+        if (dist[neighbor] == 0xffffffffu) {
+          dist[neighbor] = ttl;
+          deepest = ttl;
+        }
+      }
+    }
+  }
+  return deepest;
+}
+
+}  // namespace milback::mesh

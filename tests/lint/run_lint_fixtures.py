@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
-"""Fixture suite for scripts/physics_lint.py rule R10.
+"""Fixture suite for scripts/physics_lint.py rules R10 and R11.
 
 Stages the seeded-violation fixtures from tests/lint/fixtures/ into a
 temporary repository layout (src/milback/fix/ for the flagged ones,
-src/milback/channel/ for the allowed-scope negative control), runs
-physics_lint on the staged tree, and asserts the reported R10 findings match
-the `lint-expect: R10` markers exactly — same rule id, same staged file,
-same line — with nothing reported for the clean controls.
+src/milback/channel/ and src/milback/mesh/ for the allowed-scope negative
+controls), runs physics_lint on the staged tree, and asserts the reported
+findings match the `lint-expect: R<n>` markers exactly — same rule id, same
+staged file, same line — with nothing reported for the clean controls.
 
 Exit status 0 on an exact match, 1 otherwise.
 """
@@ -30,6 +30,9 @@ STAGE = {
     "r10_fspl.cpp": "src/milback/fix/r10_fspl.cpp",
     "r10_clean.cpp": "src/milback/fix/r10_clean.cpp",
     "r10_channel_ok.cpp": "src/milback/channel/r10_channel_ok.cpp",
+    "r11_flood.cpp": "src/milback/fix/r11_flood.cpp",
+    "r11_clean.cpp": "src/milback/fix/r11_clean.cpp",
+    "r11_mesh_ok.cpp": "src/milback/mesh/r11_mesh_ok.cpp",
 }
 
 

@@ -1,0 +1,149 @@
+// Anchor-fusion tests: BFS hop counts, DV-hop calibration, the WLS
+// multilateration path and its centroid fallback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "milback/core/contract.hpp"
+#include "milback/mesh/anchor_fusion.hpp"
+
+namespace milback::mesh {
+namespace {
+
+NeighborTable make_table(
+    std::size_t n,
+    const std::vector<std::tuple<std::uint32_t, std::uint32_t, float>>& edges) {
+  std::vector<std::vector<NeighborLink>> adj(n);
+  for (const auto& [u, v, m] : edges) {
+    adj[u].push_back({v, m});
+    adj[v].push_back({u, m});
+  }
+  NeighborTable t;
+  t.offset.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::sort(adj[i].begin(), adj[i].end(),
+              [](const NeighborLink& a, const NeighborLink& b) {
+                return a.neighbor < b.neighbor;
+              });
+    for (const auto& link : adj[i]) t.links.push_back(link);
+    t.offset[i + 1] = std::uint32_t(t.links.size());
+  }
+  return t;
+}
+
+/// 3x3 grid, 4 m pitch, rook adjacency. Node k sits at
+/// ((k % 3) * 4, (k / 3) * 4).
+NeighborTable grid3x3() {
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, float>> edges;
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    for (std::uint32_t c = 0; c < 3; ++c) {
+      const std::uint32_t k = r * 3 + c;
+      if (c + 1 < 3) edges.push_back({k, k + 1, 3.0f});
+      if (r + 1 < 3) edges.push_back({k, k + 3, 3.0f});
+    }
+  }
+  return make_table(9, edges);
+}
+
+TEST(MeshAnchorFusion, BfsCountsUnitHops) {
+  const auto t = make_table(5, {{0, 1, 1.0f}, {1, 2, 1.0f}, {2, 3, 1.0f}});
+  const auto d = hop_counts_from(t, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], 3u);
+  EXPECT_EQ(d[4], kUnreachableHops);
+}
+
+TEST(MeshAnchorFusion, AnchorsLocalizeToTheirSurveyedPosition) {
+  const auto t = grid3x3();
+  const std::vector<MeshAnchor> anchors{{0, 0.0, 0.0}, {2, 8.0, 0.0}};
+  const auto est = fuse_anchor_positions(t, anchors, 4.0);
+  ASSERT_EQ(est.size(), 9u);
+  EXPECT_TRUE(est[0].localized);
+  EXPECT_DOUBLE_EQ(est[0].x_m, 0.0);
+  EXPECT_DOUBLE_EQ(est[0].y_m, 0.0);
+  EXPECT_EQ(est[0].anchor_hops, 0u);
+  EXPECT_TRUE(est[2].localized);
+  EXPECT_DOUBLE_EQ(est[2].x_m, 8.0);
+}
+
+TEST(MeshAnchorFusion, ThreeAnchorsMultilaterateToCoarsePositions) {
+  const auto t = grid3x3();
+  // Corner anchors: (0,0), (8,0), (0,8) — non-collinear.
+  const std::vector<MeshAnchor> anchors{
+      {0, 0.0, 0.0}, {2, 8.0, 0.0}, {6, 0.0, 8.0}};
+  const auto est = fuse_anchor_positions(t, anchors, 1.0);
+  // Center node 4 is at (4, 4), 2 hops from every anchor. DV-hop is coarse
+  // (hop ranges overshoot the diagonal), but the fix must land in the right
+  // quadrant of the grid.
+  ASSERT_TRUE(est[4].localized);
+  EXPECT_EQ(est[4].anchor_hops, 2u);
+  EXPECT_NEAR(est[4].x_m, 4.0, 3.0);
+  EXPECT_NEAR(est[4].y_m, 4.0, 3.0);
+  // Every grid node is mesh-reachable, so every node gets an estimate with
+  // bounded error (grid diagonal = 11.3 m).
+  for (std::size_t u = 0; u < 9; ++u) {
+    SCOPED_TRACE(u);
+    ASSERT_TRUE(est[u].localized);
+    const double true_x = double(u % 3) * 4.0;
+    const double true_y = double(u / 3) * 4.0;
+    EXPECT_LT(std::hypot(est[u].x_m - true_x, est[u].y_m - true_y), 8.0);
+  }
+}
+
+TEST(MeshAnchorFusion, DvHopCalibratesFromAnchorPairs) {
+  // Anchors 0 and 2 are 8 m and 2 hops apart -> hop length 4 m, regardless
+  // of the (wrong) fallback. Node 1 sits 1 hop from each: ranges 4 and 4,
+  // true position (4, 0) — with two anchors it takes the weighted-centroid
+  // fallback, which lands exactly between them.
+  const auto t = make_table(3, {{0, 1, 1.0f}, {1, 2, 1.0f}});
+  const std::vector<MeshAnchor> anchors{{0, 0.0, 0.0}, {2, 8.0, 0.0}};
+  const auto est = fuse_anchor_positions(t, anchors, 100.0);
+  ASSERT_TRUE(est[1].localized);
+  EXPECT_EQ(est[1].anchor_hops, 1u);
+  EXPECT_NEAR(est[1].x_m, 4.0, 1e-9);
+  EXPECT_NEAR(est[1].y_m, 0.0, 1e-9);
+}
+
+TEST(MeshAnchorFusion, SingleAnchorFallsBackToItsNeighborhood) {
+  const auto t = make_table(3, {{0, 1, 1.0f}, {1, 2, 1.0f}});
+  const std::vector<MeshAnchor> anchors{{0, 1.0, 2.0}};
+  const auto est = fuse_anchor_positions(t, anchors, 5.0);
+  // One reachable anchor: the centroid fallback collapses to the anchor's
+  // own position — coarse, but localized (anchor_hops tells the caller how
+  // coarse).
+  ASSERT_TRUE(est[2].localized);
+  EXPECT_EQ(est[2].anchor_hops, 2u);
+  EXPECT_DOUBLE_EQ(est[2].x_m, 1.0);
+  EXPECT_DOUBLE_EQ(est[2].y_m, 2.0);
+}
+
+TEST(MeshAnchorFusion, DisconnectedNodesStayUnlocalized) {
+  const auto t = make_table(4, {{0, 1, 1.0f}, {2, 3, 1.0f}});
+  const std::vector<MeshAnchor> anchors{{0, 0.0, 0.0}};
+  const auto est = fuse_anchor_positions(t, anchors, 5.0);
+  EXPECT_TRUE(est[1].localized);
+  EXPECT_FALSE(est[2].localized);
+  EXPECT_FALSE(est[3].localized);
+  EXPECT_EQ(est[2].anchor_hops, kUnreachableHops);
+}
+
+TEST(MeshAnchorFusion, NoAnchorsMeansNoEstimates) {
+  const auto t = grid3x3();
+  const auto est = fuse_anchor_positions(t, {}, 5.0);
+  for (const auto& e : est) EXPECT_FALSE(e.localized);
+}
+
+TEST(MeshAnchorFusion, RejectsOutOfRangeAnchorsAndBadFallback) {
+  const auto t = grid3x3();
+  const std::vector<MeshAnchor> bad{{42, 0.0, 0.0}};
+  EXPECT_THROW(fuse_anchor_positions(t, bad, 5.0), milback::ContractViolation);
+  const std::vector<MeshAnchor> ok{{0, 0.0, 0.0}};
+  EXPECT_THROW(fuse_anchor_positions(t, ok, 0.0), milback::ContractViolation);
+}
+
+}  // namespace
+}  // namespace milback::mesh

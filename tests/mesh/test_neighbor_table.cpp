@@ -1,0 +1,152 @@
+// Neighbor-table tests: the relay link budget over the multipath PathSet —
+// distance falloff, the prefilter bound, wall rescue, blocker severing, and
+// the CSR build over a population.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milback/core/contract.hpp"
+#include "milback/mesh/neighbor_table.hpp"
+
+namespace milback::mesh {
+namespace {
+
+using channel::MultipathConfig;
+
+MeshConfig cfg() {
+  MeshConfig c;
+  c.relay_snr_at_1m_db = 28.0;
+  c.relay_min_snr_db = 10.0;
+  return c;
+}
+
+TEST(MeshNeighborTable, MarginFallsWithDistanceAndCrossesZero) {
+  const MultipathConfig scene;
+  const double m3 =
+      relay_link_margin_db(cfg(), scene, 0.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0);
+  const double m6 =
+      relay_link_margin_db(cfg(), scene, 0.0, 0.0, 0.0, 0.0, 6.0, 0.0, 0.0);
+  const double m9 =
+      relay_link_margin_db(cfg(), scene, 0.0, 0.0, 0.0, 0.0, 9.0, 0.0, 0.0);
+  EXPECT_GT(m3, m6);
+  EXPECT_GT(m6, 0.0);
+  EXPECT_LT(m9, 0.0);
+}
+
+TEST(MeshNeighborTable, MarginIsSymmetricAndTranslationInvariant) {
+  MultipathConfig scene;
+  scene.walls.push_back({-1.0, 1.5, 7.0, 1.5, 6.0});
+  const double fwd =
+      relay_link_margin_db(cfg(), scene, 0.0, 0.0, 2.0, -1.0, 6.0, 1.0, 0.0);
+  const double rev =
+      relay_link_margin_db(cfg(), scene, 0.0, 0.0, 6.0, 1.0, 2.0, -1.0, 0.0);
+  EXPECT_NEAR(fwd, rev, 1e-9);
+  // Shifting the whole scene and both endpoints together changes nothing.
+  MultipathConfig shifted;
+  shifted.walls.push_back({-1.0 + 10.0, 1.5 - 3.0, 7.0 + 10.0, 1.5 - 3.0, 6.0});
+  const double moved = relay_link_margin_db(cfg(), shifted, 0.0, 0.0,
+                                            12.0, -4.0, 16.0, -2.0, 0.0);
+  EXPECT_NEAR(fwd, moved, 1e-9);
+}
+
+TEST(MeshNeighborTable, MaxRelayRangeBoundsTheEdgeThreshold) {
+  const MultipathConfig scene;
+  const double range_m = max_relay_range_m(cfg());
+  // 18 dB of headroom over the 10 dB threshold -> ~7.9 m of one-way FSPL.
+  EXPECT_NEAR(range_m, std::pow(10.0, 18.0 / 20.0), 1e-9);
+  EXPECT_GE(relay_link_margin_db(cfg(), scene, 0.0, 0.0, 0.0, 0.0,
+                                 range_m - 0.05, 0.0, 0.0),
+            0.0);
+  EXPECT_LT(relay_link_margin_db(cfg(), scene, 0.0, 0.0, 0.0, 0.0,
+                                 range_m + 0.05, 0.0, 0.0),
+            0.0);
+}
+
+TEST(MeshNeighborTable, WallCarriesTheLinkAroundABlocker) {
+  MeshConfig c = cfg();
+  c.relay_snr_at_1m_db = 34.0;  // headroom so the bounce path clears 10 dB
+  // A torso parked mid-pair severs the direct ray between (0,0) and (6,0).
+  MultipathConfig blocked;
+  blocked.blockers.push_back({3.0, 0.0, 0.0, 0.0, 0.4, 40.0});
+  const double severed =
+      relay_link_margin_db(c, blocked, 0.0, 0.0, 0.0, 0.0, 6.0, 0.0, 0.0);
+  EXPECT_LT(severed, 0.0);
+
+  // The same pair with a reflector alongside keeps a usable link.
+  MultipathConfig rescued = blocked;
+  rescued.walls.push_back({-1.0, 1.0, 7.0, 1.0, 3.0});
+  const double carried =
+      relay_link_margin_db(c, rescued, 0.0, 0.0, 0.0, 0.0, 6.0, 0.0, 0.0);
+  EXPECT_GT(carried, 0.0);
+  EXPECT_LT(carried, relay_link_margin_db(c, MultipathConfig{}, 0.0, 0.0, 0.0,
+                                          0.0, 6.0, 0.0, 0.0));
+}
+
+TEST(MeshNeighborTable, BlockageHitsOnlyTheDirectLegAmbientHitsAll) {
+  MeshConfig c = cfg();
+  c.relay_snr_at_1m_db = 34.0;
+  MultipathConfig scene;
+  scene.walls.push_back({-1.0, 1.0, 7.0, 1.0, 3.0});
+  const double clear =
+      relay_link_margin_db(c, scene, 0.0, 0.0, 0.0, 0.0, 6.0, 0.0, 0.0);
+  // A cell-wide blockage episode suppresses the direct ray; the wall path
+  // (untouched by blockage) now sets the margin.
+  const double episode =
+      relay_link_margin_db(c, scene, 30.0, 0.0, 0.0, 0.0, 6.0, 0.0, 0.0);
+  EXPECT_LT(episode, clear);
+  EXPECT_GT(episode, 0.0);
+  // Ambient/co-channel loss degrades every path including the wall's.
+  const double ambient =
+      relay_link_margin_db(c, scene, 30.0, 6.0, 0.0, 0.0, 6.0, 0.0, 0.0);
+  EXPECT_NEAR(ambient, episode - 6.0, 1e-9);
+}
+
+TEST(MeshNeighborTable, MovingBlockerSeversTheEdgeOverTime) {
+  MultipathConfig scene;
+  // Crosses the pair midline around t = 2 s.
+  scene.blockers.push_back({3.0, -8.0, 0.0, 4.0, 0.5, 40.0});
+  const double before =
+      relay_link_margin_db(cfg(), scene, 0.0, 0.0, 0.0, 0.0, 6.0, 0.0, 0.0);
+  const double during =
+      relay_link_margin_db(cfg(), scene, 0.0, 0.0, 0.0, 0.0, 6.0, 0.0, 2.0);
+  const double after =
+      relay_link_margin_db(cfg(), scene, 0.0, 0.0, 0.0, 0.0, 6.0, 0.0, 4.0);
+  EXPECT_GT(before, 0.0);
+  EXPECT_LT(during, 0.0);
+  EXPECT_NEAR(after, before, 1e-9);
+}
+
+TEST(MeshNeighborTable, BuildIsSymmetricCsrAndSkipsDeadRows) {
+  const std::vector<double> x{0.0, 5.0, 10.0, 2.5};
+  const std::vector<double> y{0.0, 0.0, 0.0, 0.0};
+  const std::vector<std::uint8_t> alive{1, 1, 1, 0};
+  const auto table =
+      build_neighbor_table(cfg(), MultipathConfig{}, 0.0, 0.0, x, y, alive, 0.0);
+  ASSERT_EQ(table.node_count(), 4u);
+  // 0-1 and 1-2 are 5 m apart (edges); 0-2 is 10 m (none); 3 is dead.
+  ASSERT_EQ(table.neighbors(0).size(), 1u);
+  EXPECT_EQ(table.neighbors(0)[0].neighbor, 1u);
+  ASSERT_EQ(table.neighbors(1).size(), 2u);
+  EXPECT_EQ(table.neighbors(1)[0].neighbor, 0u);
+  EXPECT_EQ(table.neighbors(1)[1].neighbor, 2u);
+  ASSERT_EQ(table.neighbors(2).size(), 1u);
+  EXPECT_EQ(table.neighbors(2)[0].neighbor, 1u);
+  EXPECT_TRUE(table.neighbors(3).empty());
+  // Symmetric margins on the shared edge.
+  EXPECT_FLOAT_EQ(table.neighbors(0)[0].margin_db,
+                  table.neighbors(1)[0].margin_db);
+  EXPECT_EQ(table.edge_count(), 4u);
+  EXPECT_GT(table.allocated_bytes(), 0u);
+}
+
+TEST(MeshNeighborTable, BuildRejectsMismatchedColumns) {
+  const std::vector<double> x{0.0, 5.0};
+  const std::vector<double> y{0.0};
+  const std::vector<std::uint8_t> alive{1, 1};
+  EXPECT_THROW(build_neighbor_table(cfg(), MultipathConfig{}, 0.0, 0.0, x, y,
+                                    alive, 0.0),
+               milback::ContractViolation);
+}
+
+}  // namespace
+}  // namespace milback::mesh

@@ -1,0 +1,113 @@
+// Route-discovery tests: the bounded-TTL flood and its lexicographic
+// (hop_count, -min_link_margin_db, index) selection contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "milback/core/contract.hpp"
+#include "milback/mesh/routing.hpp"
+
+namespace milback::mesh {
+namespace {
+
+/// Builds a CSR table from an undirected edge list (u, v, margin_db).
+NeighborTable make_table(
+    std::size_t n,
+    const std::vector<std::tuple<std::uint32_t, std::uint32_t, float>>& edges) {
+  std::vector<std::vector<NeighborLink>> adj(n);
+  for (const auto& [u, v, m] : edges) {
+    adj[u].push_back({v, m});
+    adj[v].push_back({u, m});
+  }
+  NeighborTable t;
+  t.offset.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::sort(adj[i].begin(), adj[i].end(),
+              [](const NeighborLink& a, const NeighborLink& b) {
+                return a.neighbor < b.neighbor;
+              });
+    for (const auto& link : adj[i]) t.links.push_back(link);
+    t.offset[i + 1] = std::uint32_t(t.links.size());
+  }
+  return t;
+}
+
+TEST(MeshRouting, DirectNodesAreHopOneRoots) {
+  const auto t = make_table(2, {{0, 1, 5.0f}});
+  const std::vector<std::uint8_t> direct{1, 0};
+  const auto routes = build_routes(t, direct, 6);
+  EXPECT_EQ(routes.routes[0].hop_count, 1u);
+  EXPECT_EQ(routes.routes[0].next_hop, kNoNode);
+  EXPECT_TRUE(std::isinf(routes.routes[0].margin_db));
+  EXPECT_EQ(routes.routes[1].hop_count, 2u);
+  EXPECT_EQ(routes.routes[1].next_hop, 0u);
+  EXPECT_FLOAT_EQ(routes.routes[1].margin_db, 5.0f);
+}
+
+TEST(MeshRouting, ChainFloodsOneHopPerTtlRound) {
+  // 0 (direct) - 1 - 2 - 3
+  const auto t = make_table(4, {{0, 1, 4.0f}, {1, 2, 3.0f}, {2, 3, 2.0f}});
+  const std::vector<std::uint8_t> direct{1, 0, 0, 0};
+  const auto routes = build_routes(t, direct, 6);
+  EXPECT_EQ(routes.routes[1].hop_count, 2u);
+  EXPECT_EQ(routes.routes[2].hop_count, 3u);
+  EXPECT_EQ(routes.routes[3].hop_count, 4u);
+  EXPECT_EQ(routes.routes[3].next_hop, 2u);
+  // Bottleneck margin: min over the route's relay legs.
+  EXPECT_FLOAT_EQ(routes.routes[2].margin_db, 3.0f);
+  EXPECT_FLOAT_EQ(routes.routes[3].margin_db, 2.0f);
+}
+
+TEST(MeshRouting, PrefersFewerHopsOverWiderMargin) {
+  // 3 can reach a root directly (margin 1) or via a 2-hop detour of
+  // margin 9; fewest hops wins the lexicographic key.
+  const auto t = make_table(
+      4, {{0, 3, 1.0f}, {0, 1, 9.0f}, {1, 2, 9.0f}, {2, 3, 9.0f}});
+  const std::vector<std::uint8_t> direct{1, 0, 0, 0};
+  const auto routes = build_routes(t, direct, 6);
+  EXPECT_EQ(routes.routes[3].hop_count, 2u);
+  EXPECT_EQ(routes.routes[3].next_hop, 0u);
+}
+
+TEST(MeshRouting, TieBreaksOnWiderMarginThenLowerIndex) {
+  // Node 3 sees two hop-1 roots with different margins: the wider wins.
+  const std::vector<std::uint8_t> direct{1, 1, 1, 0};
+  const auto widest = make_table(4, {{0, 3, 2.0f}, {1, 3, 6.0f}});
+  const auto r1 = build_routes(widest, direct, 6);
+  EXPECT_EQ(r1.routes[3].next_hop, 1u);
+  EXPECT_FLOAT_EQ(r1.routes[3].margin_db, 6.0f);
+  // Equal margins: the lower node index wins.
+  const auto tied = make_table(4, {{1, 3, 4.0f}, {2, 3, 4.0f}});
+  const auto r2 = build_routes(tied, direct, 6);
+  EXPECT_EQ(r2.routes[3].next_hop, 1u);
+}
+
+TEST(MeshRouting, MaxTtlBoundsTheFlood) {
+  const auto t = make_table(4, {{0, 1, 4.0f}, {1, 2, 3.0f}, {2, 3, 2.0f}});
+  const std::vector<std::uint8_t> direct{1, 0, 0, 0};
+  const auto routes = build_routes(t, direct, 2);
+  EXPECT_EQ(routes.routes[1].hop_count, 2u);
+  EXPECT_EQ(routes.routes[2].hop_count, 0u);  // needs TTL 3
+  EXPECT_FALSE(routes.reachable(2));
+  EXPECT_FALSE(routes.reachable(3));
+}
+
+TEST(MeshRouting, IsolatedComponentStaysUnreachable) {
+  const auto t = make_table(4, {{0, 1, 4.0f}, {2, 3, 4.0f}});
+  const std::vector<std::uint8_t> direct{1, 0, 0, 0};
+  const auto routes = build_routes(t, direct, 8);
+  EXPECT_TRUE(routes.reachable(1));
+  EXPECT_FALSE(routes.reachable(2));
+  EXPECT_FALSE(routes.reachable(3));
+}
+
+TEST(MeshRouting, RejectsMismatchedDirectFlags) {
+  const auto t = make_table(2, {{0, 1, 1.0f}});
+  const std::vector<std::uint8_t> direct{1};
+  EXPECT_THROW(build_routes(t, direct, 6), milback::ContractViolation);
+}
+
+}  // namespace
+}  // namespace milback::mesh
